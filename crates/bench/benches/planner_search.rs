@@ -1,0 +1,27 @@
+//! Micro-benchmark: binary-search capacity planning (Section 2.2) — the
+//! provisioning-time operation, run per client at admission.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqos_core::CapacityPlanner;
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::SimDuration;
+
+fn bench_min_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_min_capacity");
+    group.sample_size(10);
+    let w = TraceProfile::WebSearch.generate(SimDuration::from_secs(60), 1);
+    let planner = CapacityPlanner::new(&w, SimDuration::from_millis(10));
+    for f in [0.90f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("websearch_60s", format!("f{:.0}", f * 100.0)),
+            &f,
+            |b, &f| {
+                b.iter(|| std::hint::black_box(planner.min_capacity(f)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_capacity);
+criterion_main!(benches);

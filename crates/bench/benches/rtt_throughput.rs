@@ -1,0 +1,50 @@
+//! Micro-benchmark: RTT decomposition cost per request.
+//!
+//! The decomposition sits on the I/O dispatch path, so its per-request cost
+//! must be negligible (the paper's Algorithm 1 is a counter comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqos_core::{decompose, RttClassifier};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::{Iops, SimDuration};
+
+fn bench_classifier_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtt_classifier");
+    group.bench_function("classify_and_depart", |b| {
+        let mut rtt = RttClassifier::new(Iops::new(1000.0), SimDuration::from_millis(10));
+        b.iter(|| {
+            let class = rtt.classify();
+            if class == gqos_sim::ServiceClass::PRIMARY {
+                rtt.primary_departed();
+            }
+            std::hint::black_box(class)
+        });
+    });
+    group.finish();
+}
+
+fn bench_offline_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtt_decompose");
+    group.sample_size(20);
+    for secs in [30u64, 120] {
+        let w = TraceProfile::OpenMail.generate(SimDuration::from_secs(secs), 1);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("openmail", format!("{}req", w.len())),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    std::hint::black_box(decompose(
+                        w,
+                        Iops::new(900.0),
+                        SimDuration::from_millis(10),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier_op, bench_offline_decompose);
+criterion_main!(benches);

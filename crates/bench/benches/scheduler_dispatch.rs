@@ -1,0 +1,28 @@
+//! Micro-benchmark: full simulation runs per recombination policy — the
+//! per-request engine + scheduler overhead of each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqos_core::{QosTarget, RecombinePolicy, WorkloadShaper};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::SimDuration;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_run");
+    group.sample_size(10);
+    let w = TraceProfile::WebSearch.generate(SimDuration::from_secs(30), 1);
+    let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.90, SimDuration::from_millis(20)));
+    group.throughput(Throughput::Elements(w.len() as u64));
+    for policy in RecombinePolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("websearch_30s", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| std::hint::black_box(shaper.run(&w, policy)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

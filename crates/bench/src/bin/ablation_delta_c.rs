@@ -1,0 +1,105 @@
+//! Ablation: sensitivity of the recombination schedulers to the surplus
+//! capacity ΔC.
+//!
+//! The paper provisions `Cmin + ΔC` with `ΔC = 1/δ` and proves Miser can
+//! never cause a primary miss when `ΔC = Cmin`. This sweep quantifies the
+//! trade-off in between: primary-class compliance and overflow-class
+//! latency as ΔC grows from (near) zero to `Cmin`, for both FairQueue and
+//! Miser.
+//!
+//! Regenerate with: `cargo run --release -p gqos-bench --bin ablation_delta_c`
+
+use gqos_bench::{CsvWriter, ExpConfig, Table};
+use gqos_core::{CapacityPlanner, FairQueueScheduler, MiserScheduler, Provision};
+use gqos_sim::{simulate, FixedRateServer, RunReport, ServiceClass};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::{Iops, SimDuration};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let deadline = SimDuration::from_millis(50);
+    let workload = TraceProfile::WebSearch.generate(cfg.span, cfg.seed);
+    let cmin = CapacityPlanner::new(&workload, deadline).min_capacity(0.90);
+    println!(
+        "Ablation: delta_c sweep (WebSearch, 90% @ 50 ms, Cmin = {:.0} IOPS)  [{cfg}]",
+        cmin.get()
+    );
+    println!();
+
+    let fractions_of_cmin = [0.005, 0.02, 0.0662, 0.125, 0.25, 0.5, 1.0];
+    let mut table = Table::new(vec![
+        "delta_c".into(),
+        "policy".into(),
+        "primary within".into(),
+        "primary misses".into(),
+        "overflow mean".into(),
+        "overflow max".into(),
+    ]);
+    let mut csv = vec![vec![
+        "delta_c_iops".to_string(),
+        "policy".to_string(),
+        "primary_within".to_string(),
+        "primary_misses".to_string(),
+        "overflow_mean_ms".to_string(),
+        "overflow_max_ms".to_string(),
+    ]];
+
+    for &frac in &fractions_of_cmin {
+        let delta_c = Iops::new((cmin.get() * frac).max(1.0));
+        let provision = Provision::new(cmin, delta_c);
+        let runs: [(&str, RunReport); 2] = [
+            (
+                "FairQueue",
+                simulate(
+                    &workload,
+                    FairQueueScheduler::new(provision, deadline),
+                    FixedRateServer::new(provision.total()),
+                ),
+            ),
+            (
+                "Miser",
+                simulate(
+                    &workload,
+                    MiserScheduler::new(provision, deadline),
+                    FixedRateServer::new(provision.total()),
+                ),
+            ),
+        ];
+        for (name, report) in runs {
+            let primary = report.stats_for(ServiceClass::PRIMARY);
+            let overflow = report.stats_for(ServiceClass::OVERFLOW);
+            let within = primary.fraction_within(deadline);
+            let misses = primary.len() - (within * primary.len() as f64).round() as usize;
+            let omean = overflow.mean().map(|d| d.as_millis_f64()).unwrap_or(0.0);
+            let omax = overflow.max().map(|d| d.as_millis_f64()).unwrap_or(0.0);
+            table.row(vec![
+                format!("{:.0} ({:.1}% of Cmin)", delta_c.get(), frac * 100.0),
+                name.into(),
+                format!("{:.3}%", within * 100.0),
+                misses.to_string(),
+                format!("{omean:.0} ms"),
+                format!("{omax:.0} ms"),
+            ]);
+            csv.push(vec![
+                format!("{:.0}", delta_c.get()),
+                name.into(),
+                format!("{within:.5}"),
+                misses.to_string(),
+                format!("{omean:.1}"),
+                format!("{omax:.1}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: Miser's slack rule protects the primary class far better at\n\
+         small surplus (misses vanish well before the theoretical delta_c = Cmin\n\
+         bound), at the cost of a slower overflow class when a long backlog\n\
+         builds: FairQueue's reserved share drains sustained overload faster,\n\
+         while Miser wins on short burst episodes (Figure 6c's setting)."
+    );
+
+    let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
+    let path = writer.write("ablation_delta_c", &csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}

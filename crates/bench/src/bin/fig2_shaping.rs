@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (shaping the OpenMail trace).
+
+fn main() {
+    gqos_bench::experiments::fig2::run(&gqos_bench::ExpConfig::from_env());
+}

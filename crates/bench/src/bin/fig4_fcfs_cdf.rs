@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (FCFS CDFs at the 90%-decomposition capacity).
+
+fn main() {
+    gqos_bench::experiments::fig4::run(&gqos_bench::ExpConfig::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (FCFS CDFs at 95%/99% planned fractions).
+
+fn main() {
+    gqos_bench::experiments::fig5::run(&gqos_bench::ExpConfig::from_env());
+}

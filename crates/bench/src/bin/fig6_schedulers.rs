@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (FCFS vs Split vs FairQueue vs Miser).
+
+fn main() {
+    gqos_bench::experiments::fig6::run(&gqos_bench::ExpConfig::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (same-workload consolidation).
+
+fn main() {
+    gqos_bench::experiments::fig7::run(&gqos_bench::ExpConfig::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (different-workload consolidation).
+
+fn main() {
+    gqos_bench::experiments::fig8::run(&gqos_bench::ExpConfig::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1. See `gqos_bench::experiments::table1`.
+
+fn main() {
+    gqos_bench::experiments::table1::run(&gqos_bench::ExpConfig::from_env());
+}

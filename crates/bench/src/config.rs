@@ -1,0 +1,139 @@
+//! Command-line configuration shared by every experiment binary.
+
+use std::fmt;
+
+use gqos_trace::SimDuration;
+
+/// Configuration parsed from an experiment binary's arguments.
+///
+/// Supported flags:
+///
+/// - `--span <seconds>` — trace length to synthesise (default 1200 s);
+/// - `--seed <n>` — generator seed (default 42);
+/// - `--quick` — shorthand for `--span 120`, for smoke runs;
+/// - `--out <dir>` — output directory for CSV files (default `results`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExpConfig {
+    /// Length of the synthesised traces.
+    pub span: SimDuration,
+    /// Seed for every generator (experiments derive per-workload seeds).
+    pub seed: u64,
+    /// Directory CSV outputs are written into.
+    pub out_dir: String,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            span: SimDuration::from_secs(1200),
+            seed: 42,
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parses configuration from an argument iterator (excluding the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown or malformed flags.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = ExpConfig::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_ref() {
+                "--span" => {
+                    let v = it
+                        .next()
+                        .expect("--span requires a value in seconds")
+                        .as_ref()
+                        .parse::<u64>()
+                        .expect("--span value must be an integer number of seconds");
+                    cfg.span = SimDuration::from_secs(v);
+                }
+                "--seed" => {
+                    cfg.seed = it
+                        .next()
+                        .expect("--seed requires a value")
+                        .as_ref()
+                        .parse()
+                        .expect("--seed value must be an integer");
+                }
+                "--quick" => cfg.span = SimDuration::from_secs(120),
+                "--out" => {
+                    cfg.out_dir = it.next().expect("--out requires a directory").as_ref().to_string();
+                }
+                other => panic!(
+                    "unknown flag `{other}`; supported: --span <s>, --seed <n>, --quick, --out <dir>"
+                ),
+            }
+        }
+        cfg
+    }
+
+    /// Parses configuration from the process arguments.
+    pub fn from_env() -> Self {
+        ExpConfig::parse(std::env::args().skip(1))
+    }
+}
+
+impl fmt::Display for ExpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span={:.0}s seed={} out={}",
+            self.span.as_secs_f64(),
+            self.seed,
+            self.out_dir
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ExpConfig::default();
+        assert_eq!(c.span, SimDuration::from_secs(1200));
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.out_dir, "results");
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let c = ExpConfig::parse(["--span", "300", "--seed", "7", "--out", "/tmp/x"]);
+        assert_eq!(c.span, SimDuration::from_secs(300));
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn quick_flag_shortens_span() {
+        let c = ExpConfig::parse(["--quick"]);
+        assert_eq!(c.span, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExpConfig::parse(["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--span value")]
+    fn bad_span_panics() {
+        let _ = ExpConfig::parse(["--span", "abc"]);
+    }
+
+    #[test]
+    fn display() {
+        assert!(ExpConfig::default().to_string().contains("seed=42"));
+    }
+}

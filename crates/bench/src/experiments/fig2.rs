@@ -1,0 +1,127 @@
+//! Figure 2 — shaping the OpenMail trace by decomposition and
+//! recombination: 100 ms-window rate series of (a) the original arrivals,
+//! (b) the primary class `Q1` after RTT decomposition at `Cmin(90%, 10 ms)`,
+//! and (c) the service completions after recombining with Miser.
+
+use gqos_core::{decompose, CapacityPlanner, MiserScheduler, Provision};
+use gqos_sim::{simulate, FixedRateServer, RunReport};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::{RateSeries, SimDuration, SimTime, Workload};
+
+use crate::config::ExpConfig;
+use crate::output::{CsvWriter, Table};
+
+const WINDOW: SimDuration = SimDuration::from_millis(100);
+const DEADLINE: SimDuration = SimDuration::from_millis(10);
+const FRACTION: f64 = 0.90;
+
+/// The three rate series of the figure.
+pub struct Fig2Result {
+    /// (a) Original arrival-rate series.
+    pub original: RateSeries,
+    /// (b) `Q1` arrival-rate series after decomposition.
+    pub primary: RateSeries,
+    /// (c) Completion-rate series after Miser recombination.
+    pub recombined: RateSeries,
+    /// The planned primary capacity `Cmin(90%, 10 ms)`.
+    pub cmin: f64,
+}
+
+fn completion_series(report: &RunReport, origin: SimTime) -> RateSeries {
+    let completions =
+        Workload::from_arrivals(report.records().iter().map(|r| r.completion));
+    RateSeries::with_origin(&completions, WINDOW, origin)
+}
+
+/// Computes the three series (reused by tests).
+pub fn compute(cfg: &ExpConfig) -> Fig2Result {
+    let workload = TraceProfile::OpenMail.generate(cfg.span, cfg.seed);
+    let planner = CapacityPlanner::new(&workload, DEADLINE);
+    let cmin = planner.min_capacity(FRACTION);
+    let provision = Provision::with_default_surplus(cmin, DEADLINE);
+
+    let decomposition = decompose(&workload, cmin, DEADLINE);
+    let (q1, _q2) = decomposition.split(&workload);
+
+    let report = simulate(
+        &workload,
+        MiserScheduler::new(provision, DEADLINE),
+        FixedRateServer::new(provision.total()),
+    );
+
+    let origin = workload.first_arrival().unwrap_or(SimTime::ZERO);
+    Fig2Result {
+        original: RateSeries::with_origin(&workload, WINDOW, origin),
+        primary: RateSeries::with_origin(&q1, WINDOW, origin),
+        recombined: completion_series(&report, origin),
+        cmin: cmin.get(),
+    }
+}
+
+/// Runs the experiment: prints summary statistics of the three series and
+/// writes `fig2_shaping.csv` (per-window rates).
+pub fn run(cfg: &ExpConfig) {
+    println!("Figure 2: shaping the OpenMail trace (windows of 100 ms)  [{cfg}]");
+    println!();
+    let result = compute(cfg);
+
+    let mut table = Table::new(vec![
+        "series".into(),
+        "peak IOPS".into(),
+        "mean IOPS".into(),
+        "peak/mean".into(),
+    ]);
+    for (name, series) in [
+        ("(a) original", &result.original),
+        ("(b) Q1 @ 90%", &result.primary),
+        ("(c) recombined", &result.recombined),
+    ] {
+        let peak = series.peak_iops();
+        let mean = series.mean_iops();
+        table.row(vec![
+            name.into(),
+            format!("{peak:.0}"),
+            format!("{mean:.0}"),
+            format!("{:.1}", if mean > 0.0 { peak / mean } else { 0.0 }),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Cmin(90%, 10 ms) = {:.0} IOPS  (paper: 1080 IOPS, original peak ≈ 4440, mean ≈ 534)",
+        result.cmin
+    );
+    println!(
+        "Shape check: the Q1 series must be dramatically flatter than the original\n\
+         (paper: decomposition serves 90% of OpenMail with ~12% of the worst-case capacity)."
+    );
+
+    let mut rows = vec![vec![
+        "t_seconds".to_string(),
+        "original_iops".to_string(),
+        "q1_iops".to_string(),
+        "recombined_iops".to_string(),
+    ]];
+    let n = result
+        .original
+        .len()
+        .max(result.primary.len())
+        .max(result.recombined.len());
+    let rate = |s: &RateSeries, i: usize| -> f64 {
+        if i < s.len() {
+            s.iops_at(i)
+        } else {
+            0.0
+        }
+    };
+    for i in 0..n {
+        rows.push(vec![
+            format!("{:.1}", i as f64 * 0.1),
+            format!("{:.0}", rate(&result.original, i)),
+            format!("{:.0}", rate(&result.primary, i)),
+            format!("{:.0}", rate(&result.recombined, i)),
+        ]);
+    }
+    let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
+    let path = writer.write("fig2_shaping", &rows).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! The experiment implementations, one per table/figure of the paper.
+//!
+//! Each submodule exposes `run(&ExpConfig)`; the corresponding binary in
+//! `src/bin/` is a thin wrapper, and `all_experiments` runs every one.
+
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;

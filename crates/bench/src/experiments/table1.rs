@@ -1,0 +1,77 @@
+//! Table 1 — capacity required for a specified workload fraction to meet
+//! the response-time target, per workload and deadline.
+
+use gqos_core::CapacityPlanner;
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::SimDuration;
+
+use crate::config::ExpConfig;
+use crate::output::{CsvWriter, Table};
+use crate::paper::{table1_reference, TABLE1_DEADLINES_MS, TABLE1_FRACTIONS};
+
+/// The measured table: `results[workload][deadline] = [Cmin per fraction]`.
+pub type Table1Result = Vec<(TraceProfile, Vec<(u64, Vec<u64>)>)>;
+
+/// Computes the table without printing (reused by tests).
+pub fn compute(cfg: &ExpConfig) -> Table1Result {
+    TraceProfile::ALL
+        .iter()
+        .map(|&profile| {
+            let workload = profile.generate(cfg.span, cfg.seed);
+            let rows = TABLE1_DEADLINES_MS
+                .iter()
+                .map(|&delta_ms| {
+                    let planner =
+                        CapacityPlanner::new(&workload, SimDuration::from_millis(delta_ms));
+                    let caps = TABLE1_FRACTIONS
+                        .iter()
+                        .map(|&f| planner.min_capacity(f).get().round() as u64)
+                        .collect();
+                    (delta_ms, caps)
+                })
+                .collect();
+            (profile, rows)
+        })
+        .collect()
+}
+
+/// Runs the experiment: prints the table next to the paper's values and
+/// writes `table1.csv`.
+pub fn run(cfg: &ExpConfig) {
+    println!("Table 1: Cmin(f, delta) per workload  [{cfg}]");
+    println!();
+
+    let mut header = vec![
+        "workload".to_string(),
+        "delta".to_string(),
+        "src".to_string(),
+    ];
+    header.extend(TABLE1_FRACTIONS.iter().map(|f| format!("{:.1}%", f * 100.0)));
+    let mut table = Table::new(header.clone());
+    let mut csv_rows = vec![header];
+
+    for (profile, rows) in compute(cfg) {
+        for (delta_ms, measured) in rows {
+            let mut row = vec![
+                profile.abbrev().to_string(),
+                format!("{delta_ms} ms"),
+                "ours".to_string(),
+            ];
+            row.extend(measured.iter().map(u64::to_string));
+            table.row(row.clone());
+            csv_rows.push(row);
+
+            if let Some(reference) = table1_reference(profile, delta_ms) {
+                let mut row = vec![String::new(), String::new(), "paper".to_string()];
+                row.extend(reference.iter().map(u64::to_string));
+                table.row(row.clone());
+                csv_rows.push(row);
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
+    let path = writer.write("table1", &csv_rows).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,236 @@
+//! Earliest-deadline-first serving — the deadline-aware *non-shaping*
+//! baseline.
+//!
+//! A natural question about the paper's design: does FCFS merely lose to
+//! decomposition because it ignores deadlines? EDF answers it. With one
+//! uniform relative deadline `δ`, EDF ordering coincides with FCFS — the
+//! queue *order* is identical — so everything FCFS loses to bursts, EDF
+//! loses too. The value EDF adds is the *shedding* variant: a request whose
+//! deadline has already passed is expelled instead of served, which stops a
+//! burst's stale backlog from dragging down the still-saveable requests —
+//! an alternative tail-isolation mechanism, but one that (like the token
+//! bucket) abandons requests rather than serving them best-effort.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
+use gqos_trace::{Request, SimDuration, SimTime};
+
+/// What EDF does with a request whose deadline already passed.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum LatePolicy {
+    /// Serve it anyway (work-conserving; order equals FCFS under a uniform
+    /// deadline).
+    Serve,
+    /// Expel it unserved once its deadline has been reached by dispatch
+    /// time; it never completes and counts as unfinished.
+    Shed,
+}
+
+/// EDF over one uniform relative deadline.
+///
+/// Completions are tagged [`ServiceClass::PRIMARY`]; shed requests never
+/// complete (they appear as `unfinished` in the report).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{EdfScheduler, LatePolicy};
+/// use gqos_sim::{simulate, FixedRateServer};
+/// use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+///
+/// let burst = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+/// let report = simulate(
+///     &burst,
+///     EdfScheduler::new(SimDuration::from_millis(20), LatePolicy::Shed),
+///     FixedRateServer::new(Iops::new(100.0)),
+/// );
+/// // 100 IOPS x 20 ms = 2 requests can make their deadlines; the stale
+/// // backlog is shed instead of served late.
+/// assert_eq!(report.completed(), 2);
+/// assert_eq!(report.unfinished(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdfScheduler {
+    deadline: SimDuration,
+    policy: LatePolicy,
+    /// FIFO == EDF for a uniform relative deadline.
+    queue: VecDeque<Request>,
+    shed: u64,
+}
+
+impl EdfScheduler {
+    /// Creates an EDF scheduler with relative deadline `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn new(deadline: SimDuration, policy: LatePolicy) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        EdfScheduler {
+            deadline,
+            policy,
+            queue: VecDeque::new(),
+            shed: 0,
+        }
+    }
+
+    /// Requests expelled so far under [`LatePolicy::Shed`].
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// The relative deadline.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+}
+
+impl Scheduler for EdfScheduler {
+    fn on_arrival(&mut self, request: Request, _now: SimTime) {
+        self.queue.push_back(request);
+    }
+
+    fn next_for(&mut self, _server: ServerId, now: SimTime) -> Dispatch {
+        loop {
+            match self.queue.pop_front() {
+                Some(r) => {
+                    if self.policy == LatePolicy::Shed && r.arrival + self.deadline <= now {
+                        self.shed += 1;
+                        continue;
+                    }
+                    return Dispatch::Serve(r, ServiceClass::PRIMARY);
+                }
+                None => return Dispatch::Idle,
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl fmt::Display for EdfScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EDF(delta {}, {:?}, {} queued, {} shed)",
+            self.deadline,
+            self.policy,
+            self.queue.len(),
+            self.shed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqos_sim::{simulate, FixedRateServer};
+    use gqos_trace::{Iops, Workload};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn serve_policy_equals_fcfs() {
+        let mut arrivals: Vec<SimTime> = (0..50).map(|i| ms(i * 7)).collect();
+        arrivals.extend(vec![ms(111); 20]);
+        let w = Workload::from_arrivals(arrivals);
+        let c = FixedRateServer::new(Iops::new(150.0));
+        let edf = simulate(
+            &w,
+            EdfScheduler::new(dms(20), LatePolicy::Serve),
+            c,
+        );
+        let fcfs = simulate(&w, gqos_sim::FcfsScheduler::new(), c);
+        assert_eq!(edf.records().len(), fcfs.records().len());
+        for (a, b) in edf.records().iter().zip(fcfs.records()) {
+            assert_eq!(a.completion, b.completion);
+        }
+    }
+
+    #[test]
+    fn shedding_saves_the_saveable() {
+        // A deep burst then a steady tail: FCFS drags the stale backlog
+        // along and the tail misses too; shedding EDF expels the stale
+        // burst and the tail meets its deadlines.
+        let mut arrivals = vec![ms(0); 40];
+        arrivals.extend((1..100).map(|i| ms(i * 10)));
+        let w = Workload::from_arrivals(arrivals);
+        let c = FixedRateServer::new(Iops::new(150.0));
+        let delta = dms(20);
+
+        let fcfs = simulate(&w, gqos_sim::FcfsScheduler::new(), c);
+        let shed = simulate(&w, EdfScheduler::new(delta, LatePolicy::Shed), c);
+
+        let fcfs_within = fcfs.stats().fraction_within(delta);
+        let shed_within = shed.stats().fraction_within(delta);
+        assert!(
+            shed_within > fcfs_within + 0.3,
+            "shedding {shed_within:.2} vs FCFS {fcfs_within:.2}"
+        );
+        assert!(shed.unfinished() > 0, "nothing was shed");
+    }
+
+    #[test]
+    fn shedding_loses_requests_that_decomposition_serves() {
+        // The contrast motivating the paper: shedding EDF and RTT both
+        // protect the saveable fraction, but EDF abandons the tail.
+        use crate::{MiserScheduler, Provision};
+        let mut arrivals = vec![ms(0); 40];
+        arrivals.extend((1..100).map(|i| ms(i * 10)));
+        let w = Workload::from_arrivals(arrivals);
+        let delta = dms(20);
+
+        let shed = simulate(
+            &w,
+            EdfScheduler::new(delta, LatePolicy::Shed),
+            FixedRateServer::new(Iops::new(150.0)),
+        );
+        let miser = simulate(
+            &w,
+            MiserScheduler::new(
+                Provision::new(Iops::new(150.0), Iops::new(50.0)),
+                delta,
+            ),
+            FixedRateServer::new(Iops::new(200.0)),
+        );
+        assert!(shed.unfinished() > 0);
+        assert_eq!(miser.unfinished(), 0, "decomposition abandons nothing");
+    }
+
+    #[test]
+    fn never_sheds_fresh_requests() {
+        let w = Workload::from_arrivals((0..20).map(|i| ms(i * 100)));
+        let report = simulate(
+            &w,
+            EdfScheduler::new(dms(50), LatePolicy::Shed),
+            FixedRateServer::new(Iops::new(100.0)),
+        );
+        assert_eq!(report.completed(), 20);
+        assert_eq!(report.unfinished(), 0);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let s = EdfScheduler::new(dms(10), LatePolicy::Shed);
+        assert_eq!(s.deadline(), dms(10));
+        assert_eq!(s.shed_count(), 0);
+        assert_eq!(s.pending(), 0);
+        assert!(s.to_string().contains("EDF"));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_rejected() {
+        let _ = EdfScheduler::new(SimDuration::ZERO, LatePolicy::Serve);
+    }
+}

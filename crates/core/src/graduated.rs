@@ -1,0 +1,308 @@
+//! Graduated multi-class serving at runtime.
+//!
+//! [`CascadeDecomposer`](crate::CascadeDecomposer) analyses how a workload
+//! splits across more than two classes; this module *serves* such a split:
+//! per-level RTT admission (tightest class first, spilling downwards), with
+//! the levels multiplexed on one shared server through start-time fair
+//! queueing weighted by the level capacities.
+//!
+//! The guarantee argument mirrors the two-class FairQueue case, level by
+//! level. Fair queueing guarantees level `i` a service rate of at least
+//! `C_i` while it is backlogged (its weight share of `ΣC_j + ΔC` exceeds
+//! `C_i`), and RTT admission caps its pending count at `⌊C_i·δ_i⌋` — so an
+//! admitted level-`i` request finishes within `⌊C_i·δ_i⌋ / C_i ≤ δ_i`, up
+//! to interleaving granularity, which the surplus `ΔC` absorbs exactly as
+//! in the paper's two-class analysis. Strict priority would *not* work
+//! here: a saturated tight level would drain at full server speed, admit
+//! far beyond its budget, and starve the looser guaranteed levels.
+
+use std::fmt;
+
+use gqos_fairqueue::{FlowId, FlowScheduler, Sfq};
+use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
+use gqos_trace::{Iops, Request, SimTime};
+#[cfg(test)]
+use gqos_trace::SimDuration;
+
+use crate::cascade::CascadeLevel;
+
+/// An RTT-admission scheduler over a cascade of guaranteed levels plus a
+/// trailing best-effort class, multiplexed by capacity-weighted fair
+/// queueing.
+///
+/// Class `i` (for `i < levels`) completes under `ServiceClass::new(i)`;
+/// spill-through requests complete under `ServiceClass::new(levels)`.
+/// Pair it with a server of capacity [`required_capacity`] or more.
+///
+/// [`required_capacity`]: GraduatedScheduler::required_capacity
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{CascadeLevel, GraduatedScheduler};
+/// use gqos_sim::{simulate, FixedRateServer, ServiceClass};
+/// use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+///
+/// let levels = vec![
+///     CascadeLevel { capacity: Iops::new(200.0), deadline: SimDuration::from_millis(10) },
+///     CascadeLevel { capacity: Iops::new(100.0), deadline: SimDuration::from_millis(50) },
+/// ];
+/// let scheduler = GraduatedScheduler::new(levels);
+/// let capacity = scheduler.required_capacity();
+/// let w = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+/// let report = simulate(&w, scheduler, FixedRateServer::new(capacity));
+/// // 2 requests in the 10 ms class, 5 in the 50 ms class, 3 best effort.
+/// assert_eq!(report.completed_in(ServiceClass::new(0)), 2);
+/// assert_eq!(report.completed_in(ServiceClass::new(1)), 5);
+/// assert_eq!(report.completed_in(ServiceClass::new(2)), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraduatedScheduler {
+    levels: Vec<LevelState>,
+    /// One flow per guaranteed level plus a trailing best-effort flow.
+    flows: Sfq,
+}
+
+#[derive(Clone, Debug)]
+struct LevelState {
+    level: CascadeLevel,
+    max_q: u64,
+    pending: u64, // queued + in service
+}
+
+impl GraduatedScheduler {
+    /// Creates a scheduler over levels ordered by strictly increasing
+    /// deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or exceeds 254 entries, deadlines are
+    /// not strictly increasing, or any level's `⌊C·δ⌋` is zero.
+    pub fn new(levels: Vec<CascadeLevel>) -> Self {
+        assert!(!levels.is_empty(), "cascade needs at least one level");
+        assert!(levels.len() <= 254, "at most 254 levels (class encoding)");
+        for pair in levels.windows(2) {
+            assert!(
+                pair[0].deadline < pair[1].deadline,
+                "cascade deadlines must be strictly increasing"
+            );
+        }
+        let levels: Vec<LevelState> = levels
+            .into_iter()
+            .enumerate()
+            .map(|(i, level)| {
+                let max_q = level.capacity.requests_within(level.deadline);
+                assert!(max_q >= 1, "level {i} admits no requests (C x delta < 1)");
+                LevelState {
+                    level,
+                    max_q,
+                    pending: 0,
+                }
+            })
+            .collect();
+        let mut weights: Vec<f64> = levels.iter().map(|l| l.level.capacity.get()).collect();
+        // The best-effort flow gets the surplus 1/δ_last weight.
+        let last = levels.last().expect("non-empty cascade");
+        weights.push(1.0 / last.level.deadline.as_secs_f64());
+        GraduatedScheduler {
+            levels,
+            flows: Sfq::new(&weights),
+        }
+    }
+
+    /// Number of guaranteed levels (the best-effort class is one more).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The configured level `i`.
+    pub fn level(&self, i: usize) -> CascadeLevel {
+        self.levels[i].level
+    }
+
+    /// The capacity the guarantee argument needs: the sum of the level
+    /// capacities plus the surplus `1/δ_last` (one extra request per the
+    /// loosest window, covering non-preemptible residue and feeding the
+    /// best-effort class).
+    pub fn required_capacity(&self) -> Iops {
+        let sum: f64 = self.levels.iter().map(|l| l.level.capacity.get()).sum();
+        let last = self.levels.last().expect("non-empty cascade");
+        Iops::new(sum + 1.0 / last.level.deadline.as_secs_f64())
+    }
+
+    /// Queued requests at guaranteed level `i`.
+    pub fn level_pending(&self, i: usize) -> usize {
+        assert!(i < self.levels.len(), "no such level");
+        self.flows.flow_len(FlowId::new(i))
+    }
+
+    /// Queued best-effort requests.
+    pub fn best_effort_pending(&self) -> usize {
+        self.flows.flow_len(FlowId::new(self.levels.len()))
+    }
+}
+
+impl Scheduler for GraduatedScheduler {
+    fn on_arrival(&mut self, request: Request, _now: SimTime) {
+        for (i, state) in self.levels.iter_mut().enumerate() {
+            if state.pending < state.max_q {
+                state.pending += 1;
+                self.flows.enqueue(FlowId::new(i), request);
+                return;
+            }
+        }
+        self.flows
+            .enqueue(FlowId::new(self.levels.len()), request);
+    }
+
+    fn next_for(&mut self, _server: ServerId, _now: SimTime) -> Dispatch {
+        match self.flows.dequeue() {
+            Some((flow, r)) => Dispatch::Serve(r, ServiceClass::new(flow.index() as u8)),
+            None => Dispatch::Idle,
+        }
+    }
+
+    fn on_completion(&mut self, _request: &Request, class: ServiceClass, _now: SimTime) {
+        let i = class.index() as usize;
+        if i < self.levels.len() {
+            let state = &mut self.levels[i];
+            debug_assert!(state.pending > 0);
+            state.pending -= 1;
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+impl fmt::Display for GraduatedScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graduated scheduler ({} levels + best effort, {} pending)",
+            self.levels.len(),
+            self.pending()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqos_sim::{simulate, FixedRateServer, RunReport};
+    use gqos_trace::Workload;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn lvl(c: f64, deadline_ms: u64) -> CascadeLevel {
+        CascadeLevel {
+            capacity: Iops::new(c),
+            deadline: dms(deadline_ms),
+        }
+    }
+
+    fn run(w: &Workload, levels: Vec<CascadeLevel>) -> RunReport {
+        let s = GraduatedScheduler::new(levels);
+        let c = s.required_capacity();
+        simulate(w, s, FixedRateServer::new(c))
+    }
+
+    #[test]
+    fn burst_spills_through_levels_like_the_decomposer() {
+        let levels = vec![lvl(300.0, 10), lvl(100.0, 50), lvl(50.0, 200)];
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 20]);
+        let report = run(&w, levels.clone());
+        // Same counts the offline CascadeDecomposer predicts: 3, 5, 10, 2.
+        assert_eq!(report.completed_in(ServiceClass::new(0)), 3);
+        assert_eq!(report.completed_in(ServiceClass::new(1)), 5);
+        assert_eq!(report.completed_in(ServiceClass::new(2)), 10);
+        assert_eq!(report.completed_in(ServiceClass::new(3)), 2);
+        let offline = crate::CascadeDecomposer::new(levels).decompose(&w);
+        assert_eq!(offline.count_of(0), 3);
+        assert_eq!(offline.count_of(3), 2);
+    }
+
+    #[test]
+    fn every_guaranteed_level_meets_its_own_deadline() {
+        // An adversarial pattern of repeating deep bursts.
+        let mut arrivals = Vec::new();
+        for c in 0..60u64 {
+            let depth = 3 + (c % 11);
+            for i in 0..depth {
+                arrivals.push(ms(c * 80 + i % 2));
+            }
+        }
+        let w = Workload::from_arrivals(arrivals);
+        let levels = vec![lvl(250.0, 10), lvl(120.0, 50), lvl(60.0, 200)];
+        let report = run(&w, levels.clone());
+        assert_eq!(report.completed(), w.len());
+        for (i, level) in levels.iter().enumerate() {
+            let stats = report.stats_for(ServiceClass::new(i as u8));
+            if let Some(max) = stats.max() {
+                assert!(
+                    max <= level.deadline,
+                    "level {i} missed: max {} > {}",
+                    max,
+                    level.deadline
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calm_traffic_stays_in_the_top_class() {
+        let w = Workload::from_arrivals((0..100).map(|i| ms(i * 20)));
+        let report = run(&w, vec![lvl(200.0, 10), lvl(50.0, 100)]);
+        assert_eq!(report.completed_in(ServiceClass::new(0)), 100);
+        assert_eq!(report.completed_in(ServiceClass::new(1)), 0);
+    }
+
+    #[test]
+    fn best_effort_is_served_work_conservingly() {
+        // A burst whose tail lands in best effort still completes quickly
+        // once the guaranteed queues drain.
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 30]);
+        let report = run(&w, vec![lvl(200.0, 10), lvl(100.0, 50)]);
+        assert_eq!(report.completed(), 30);
+        let be = report.stats_for(ServiceClass::new(2));
+        assert!(!be.is_empty());
+        assert!(be.max().unwrap() < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let s = GraduatedScheduler::new(vec![lvl(200.0, 10), lvl(100.0, 50)]);
+        assert_eq!(s.levels(), 2);
+        assert_eq!(s.level(0).deadline, dms(10));
+        assert_eq!(s.level_pending(0), 0);
+        assert_eq!(s.best_effort_pending(), 0);
+        // 300 + 1/0.05 = 320.
+        assert!((s.required_capacity().get() - 320.0).abs() < 1e-9);
+        assert!(s.to_string().contains("2 levels"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_levels_rejected() {
+        let _ = GraduatedScheduler::new(vec![lvl(100.0, 50), lvl(100.0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "admits no requests")]
+    fn degenerate_level_rejected() {
+        let _ = GraduatedScheduler::new(vec![lvl(10.0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_cascade_rejected() {
+        let _ = GraduatedScheduler::new(vec![]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Capacity planning: the binary search of Section 2.2.
+//!
+//! Given a workload profile, a response-time bound `δ`, and a guaranteed
+//! fraction `f`, find the minimum capacity `Cmin` such that RTT decomposition
+//! puts at least a fraction `f` of requests in the primary class. Because
+//! RTT is optimal, no capacity below `Cmin` can guarantee `f` under *any*
+//! partitioning — so the search yields the true provisioning requirement.
+
+use std::fmt;
+
+use gqos_trace::{Iops, SimDuration, Workload};
+
+use crate::rtt::decompose;
+use crate::target::{Provision, QosTarget};
+
+/// Plans capacity for one workload at a fixed deadline.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::CapacityPlanner;
+/// use gqos_trace::{SimDuration, SimTime, Workload};
+///
+/// // A burst of 10 simultaneous requests, then silence.
+/// let w = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+/// let planner = CapacityPlanner::new(&w, SimDuration::from_millis(10));
+/// // All 10 within 10 ms needs 1000 IOPS; 50% needs only 500.
+/// assert_eq!(planner.min_capacity(1.0).get(), 1000.0);
+/// assert_eq!(planner.min_capacity(0.5).get(), 500.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CapacityPlanner<'w> {
+    workload: &'w Workload,
+    deadline: SimDuration,
+}
+
+impl<'w> CapacityPlanner<'w> {
+    /// Creates a planner for `workload` with response-time bound `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn new(workload: &'w Workload, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        CapacityPlanner { workload, deadline }
+    }
+
+    /// The deadline being planned for.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+
+    /// Fraction of the workload RTT places in the primary class at
+    /// `capacity` (1.0 for an empty workload).
+    pub fn fraction_guaranteed(&self, capacity: Iops) -> f64 {
+        if capacity.requests_within(self.deadline) == 0 {
+            return if self.workload.is_empty() { 1.0 } else { 0.0 };
+        }
+        decompose(self.workload, capacity, self.deadline).primary_fraction()
+    }
+
+    /// The minimum integer capacity (IOPS) guaranteeing at least `fraction`
+    /// of the workload within the deadline — `Cmin(f, δ)`.
+    ///
+    /// Converges by binary search in `O(log C)` RTT evaluations, as in the
+    /// paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn min_capacity(&self, fraction: f64) -> Iops {
+        assert!(
+            fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]: {fraction}"
+        );
+        // Smallest capacity with a non-degenerate RTT bound: C·δ ≥ 1.
+        let floor = (1.0 / self.deadline.as_secs_f64()).ceil().max(1.0) as u64;
+        if self.workload.is_empty() {
+            return Iops::new(floor as f64);
+        }
+
+        let meets = |c: u64| self.fraction_guaranteed(Iops::new(c as f64)) >= fraction;
+
+        // Grow an upper bound by doubling. The peak burst bounds this:
+        // N simultaneous requests need at most N/δ.
+        let mut hi = floor.max(self.workload.mean_iops().ceil() as u64).max(1);
+        while !meets(hi) {
+            hi = hi.checked_mul(2).expect("capacity search overflow");
+        }
+        if hi == floor {
+            return Iops::new(floor as f64);
+        }
+
+        let mut lo = floor; // invariant: hi meets, lo may not
+        if meets(lo) {
+            return Iops::new(lo as f64);
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if meets(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Iops::new(hi as f64)
+    }
+
+    /// The full provision for a target: `Cmin(f, δ)` plus the default
+    /// surplus `ΔC = 1/δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.deadline()` differs from this planner's deadline.
+    pub fn provision(&self, target: QosTarget) -> Provision {
+        assert_eq!(
+            target.deadline(),
+            self.deadline,
+            "target deadline differs from planner deadline"
+        );
+        Provision::with_default_surplus(self.min_capacity(target.fraction()), self.deadline)
+    }
+
+    /// Evaluates `Cmin` for each fraction, producing one row of the paper's
+    /// Table 1.
+    pub fn menu(&self, fractions: &[f64]) -> Vec<SlaQuote> {
+        fractions
+            .iter()
+            .map(|&f| SlaQuote {
+                target: QosTarget::new(f, self.deadline),
+                cmin: self.min_capacity(f),
+            })
+            .collect()
+    }
+}
+
+/// One entry of an SLA menu: a target and its minimum capacity.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SlaQuote {
+    /// The guaranteed target.
+    pub target: QosTarget,
+    /// The minimum capacity achieving it.
+    pub cmin: Iops,
+}
+
+impl fmt::Display for SlaQuote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {:.0} IOPS", self.target, self.cmin.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqos_trace::SimTime;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn burst_full_guarantee_needs_burst_rate() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+        let p = CapacityPlanner::new(&w, dms(10));
+        assert_eq!(p.min_capacity(1.0).get(), 1000.0);
+    }
+
+    #[test]
+    fn relaxing_fraction_reduces_capacity_sharply() {
+        // The paper's knee: a deep spike that is under 10% of the workload.
+        // Exempting it collapses the capacity requirement.
+        let mut arrivals: Vec<SimTime> = (0..500).map(|i| ms(i * 10)).collect();
+        arrivals.extend(vec![ms(2500); 40]); // 40-deep spike, ~7% of total
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let c100 = p.min_capacity(1.0).get();
+        let c90 = p.min_capacity(0.90).get();
+        assert!(
+            c100 > 3.0 * c90,
+            "expected sharp knee: C(100%)={c100}, C(90%)={c90}"
+        );
+    }
+
+    #[test]
+    fn min_capacity_is_minimal() {
+        let mut arrivals: Vec<SimTime> = (0..50).map(|i| ms(i * 7)).collect();
+        arrivals.extend(vec![ms(100); 12]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        for f in [0.9, 0.95, 1.0] {
+            let c = p.min_capacity(f);
+            assert!(p.fraction_guaranteed(c) >= f);
+            let below = Iops::new(c.get() - 1.0);
+            if below.get() >= 100.0 {
+                assert!(
+                    p.fraction_guaranteed(below) < f,
+                    "capacity {} was not minimal for f={f}",
+                    c.get()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_workload_has_flat_menu() {
+        // Evenly spaced arrivals: Cmin barely depends on the fraction.
+        let w = Workload::from_arrivals((0..500).map(|i| ms(i * 5)));
+        let p = CapacityPlanner::new(&w, dms(10));
+        let menu = p.menu(&[0.9, 0.99, 1.0]);
+        let c90 = menu[0].cmin.get();
+        let c100 = menu[2].cmin.get();
+        assert!(
+            c100 <= c90 * 1.5,
+            "smooth workload should not knee: {c90} vs {c100}"
+        );
+        assert!(menu[0].to_string().contains("IOPS"));
+    }
+
+    #[test]
+    fn menu_is_monotonic_in_fraction() {
+        let mut arrivals: Vec<SimTime> = (0..200).map(|i| ms(i * 11)).collect();
+        arrivals.extend(vec![ms(777); 30]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(20));
+        let menu = p.menu(&[0.90, 0.95, 0.99, 1.0]);
+        for pair in menu.windows(2) {
+            assert!(
+                pair[1].cmin.get() >= pair[0].cmin.get(),
+                "menu not monotonic: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_deadline_needs_less_capacity() {
+        let mut arrivals: Vec<SimTime> = (0..100).map(|i| ms(i * 13)).collect();
+        arrivals.extend(vec![ms(300); 20]);
+        let w = Workload::from_arrivals(arrivals);
+        let c_tight = CapacityPlanner::new(&w, dms(5)).min_capacity(0.95);
+        let c_loose = CapacityPlanner::new(&w, dms(50)).min_capacity(0.95);
+        assert!(c_loose.get() < c_tight.get());
+    }
+
+    #[test]
+    fn empty_workload_needs_only_floor() {
+        let w = Workload::new();
+        let p = CapacityPlanner::new(&w, dms(10));
+        assert_eq!(p.min_capacity(1.0).get(), 100.0); // 1/δ
+        assert_eq!(p.fraction_guaranteed(Iops::new(100.0)), 1.0);
+    }
+
+    #[test]
+    fn provision_adds_default_surplus() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 5]);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let prov = p.provision(QosTarget::new(1.0, dms(10)));
+        assert_eq!(prov.cmin().get(), 500.0);
+        assert_eq!(prov.delta_c().get(), 100.0);
+        assert_eq!(prov.total().get(), 600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline differs")]
+    fn provision_checks_deadline() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let _ = p.provision(QosTarget::new(1.0, dms(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn fraction_validated() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let _ = CapacityPlanner::new(&w, dms(10)).min_capacity(0.0);
+    }
+
+    #[test]
+    fn sub_iops_floor_capacity_reports_zero_guarantee() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let p = CapacityPlanner::new(&w, dms(10));
+        // 50 IOPS × 10 ms < 1 slot: nothing can be guaranteed.
+        assert_eq!(p.fraction_guaranteed(Iops::new(50.0)), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Graduated SLA pricing.
+//!
+//! The paper's introduction frames the business case: decomposition lets a
+//! provider "pass on these savings by providing a variety of SLAs and
+//! pricing options", with "concessional terms" for clients whose streams
+//! need negligible surplus capacity. This module turns a capacity menu into
+//! that price list: cost is proportional to the capacity a client's target
+//! *reserves*, so the premium for covering one's burst tail — and the
+//! discount for being well-behaved — fall out of the planner directly.
+
+use std::fmt;
+
+use gqos_trace::{SimDuration, Workload};
+
+use crate::planner::CapacityPlanner;
+use crate::target::QosTarget;
+
+/// A linear capacity-pricing model: a fixed base fee plus a rate per
+/// reserved IOPS per billing period.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{PricingModel, QosTarget};
+/// use gqos_trace::{SimDuration, SimTime, Workload};
+///
+/// let pricing = PricingModel::new(10.0, 0.50);
+/// let w = Workload::from_arrivals((0..100).map(|i| SimTime::from_millis(i * 10)));
+/// let quote = pricing.quote(&w, QosTarget::new(0.90, SimDuration::from_millis(10)));
+/// assert!(quote.monthly_cost > 10.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PricingModel {
+    base_fee: f64,
+    per_iops: f64,
+}
+
+impl PricingModel {
+    /// Creates a model charging `base_fee` plus `per_iops` per reserved
+    /// IOPS per period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative or non-finite.
+    pub fn new(base_fee: f64, per_iops: f64) -> Self {
+        assert!(
+            base_fee.is_finite() && base_fee >= 0.0,
+            "invalid base fee: {base_fee}"
+        );
+        assert!(
+            per_iops.is_finite() && per_iops >= 0.0,
+            "invalid per-IOPS rate: {per_iops}"
+        );
+        PricingModel { base_fee, per_iops }
+    }
+
+    /// The fixed fee per period.
+    pub fn base_fee(&self) -> f64 {
+        self.base_fee
+    }
+
+    /// The rate per reserved IOPS per period.
+    pub fn per_iops(&self) -> f64 {
+        self.per_iops
+    }
+
+    /// Prices one client at one target: plans `Cmin + ΔC` and applies the
+    /// linear model.
+    pub fn quote(&self, workload: &Workload, target: QosTarget) -> Quote {
+        let planner = CapacityPlanner::new(workload, target.deadline());
+        let provision = planner.provision(target);
+        Quote {
+            target,
+            reserved_iops: provision.total().get(),
+            monthly_cost: self.base_fee + self.per_iops * provision.total().get(),
+        }
+    }
+
+    /// Prices a menu of guaranteed fractions at a fixed deadline.
+    pub fn menu(&self, workload: &Workload, deadline: SimDuration, fractions: &[f64]) -> Vec<Quote> {
+        fractions
+            .iter()
+            .map(|&f| self.quote(workload, QosTarget::new(f, deadline)))
+            .collect()
+    }
+
+    /// The *burst premium*: what full coverage costs over covering only a
+    /// fraction `fraction` — the money the tail wags out of the client.
+    pub fn burst_premium(
+        &self,
+        workload: &Workload,
+        deadline: SimDuration,
+        fraction: f64,
+    ) -> f64 {
+        let full = self.quote(workload, QosTarget::full(deadline));
+        let partial = self.quote(workload, QosTarget::new(fraction, deadline));
+        full.monthly_cost - partial.monthly_cost
+    }
+
+    /// The well-behavedness discount in `[0, 1)`: the relative saving a
+    /// client realises by accepting fraction `fraction` instead of a full
+    /// guarantee. Smooth clients save almost nothing (they were cheap
+    /// anyway); bursty clients save most of their bill.
+    pub fn discount(&self, workload: &Workload, deadline: SimDuration, fraction: f64) -> f64 {
+        let full = self.quote(workload, QosTarget::full(deadline)).monthly_cost;
+        if full == 0.0 {
+            return 0.0;
+        }
+        let partial = self
+            .quote(workload, QosTarget::new(fraction, deadline))
+            .monthly_cost;
+        (1.0 - partial / full).max(0.0)
+    }
+}
+
+impl fmt::Display for PricingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pricing: {:.2} base + {:.3}/IOPS per period",
+            self.base_fee, self.per_iops
+        )
+    }
+}
+
+/// A priced SLA offer.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Quote {
+    /// The guaranteed target.
+    pub target: QosTarget,
+    /// The capacity reserved for this client (`Cmin + ΔC`).
+    pub reserved_iops: f64,
+    /// The period cost under the model.
+    pub monthly_cost: f64,
+}
+
+impl fmt::Display for Quote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: reserve {:.0} IOPS for {:.2}/period",
+            self.target, self.reserved_iops, self.monthly_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqos_trace::SimTime;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn smooth() -> Workload {
+        Workload::from_arrivals((0..300).map(|i| ms(i * 10)))
+    }
+
+    fn bursty() -> Workload {
+        let mut arrivals: Vec<SimTime> = (0..300).map(|i| ms(i * 10)).collect();
+        arrivals.extend(vec![ms(1500); 60]);
+        Workload::from_arrivals(arrivals)
+    }
+
+    #[test]
+    fn quote_scales_with_reserved_capacity() {
+        let pricing = PricingModel::new(5.0, 1.0);
+        let q = pricing.quote(&smooth(), QosTarget::new(0.9, dms(10)));
+        assert!((q.monthly_cost - (5.0 + q.reserved_iops)).abs() < 1e-9);
+        assert!(q.to_string().contains("reserve"));
+    }
+
+    #[test]
+    fn menu_prices_rise_with_the_fraction() {
+        let pricing = PricingModel::new(0.0, 1.0);
+        let menu = pricing.menu(&bursty(), dms(10), &[0.9, 0.99, 1.0]);
+        assert!(menu[0].monthly_cost <= menu[1].monthly_cost);
+        assert!(menu[1].monthly_cost <= menu[2].monthly_cost);
+    }
+
+    #[test]
+    fn bursty_clients_pay_a_larger_premium() {
+        let pricing = PricingModel::new(0.0, 1.0);
+        let smooth_premium = pricing.burst_premium(&smooth(), dms(10), 0.9);
+        let bursty_premium = pricing.burst_premium(&bursty(), dms(10), 0.9);
+        assert!(
+            bursty_premium > 5.0 * smooth_premium.max(1.0),
+            "smooth {smooth_premium}, bursty {bursty_premium}"
+        );
+    }
+
+    #[test]
+    fn well_behaved_discount_ordering() {
+        let pricing = PricingModel::new(0.0, 1.0);
+        let d_smooth = pricing.discount(&smooth(), dms(10), 0.9);
+        let d_bursty = pricing.discount(&bursty(), dms(10), 0.9);
+        assert!(d_bursty > d_smooth, "smooth {d_smooth}, bursty {d_bursty}");
+        assert!((0.0..1.0).contains(&d_smooth));
+        assert!(d_bursty > 0.5, "bursty discount {d_bursty}");
+    }
+
+    #[test]
+    fn base_fee_dominates_tiny_clients() {
+        let pricing = PricingModel::new(100.0, 0.01);
+        let q = pricing.quote(&smooth(), QosTarget::new(0.9, dms(50)));
+        assert!(q.monthly_cost > 100.0 && q.monthly_cost < 110.0);
+        assert_eq!(pricing.base_fee(), 100.0);
+        assert_eq!(pricing.per_iops(), 0.01);
+        assert!(pricing.to_string().contains("pricing"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid base fee")]
+    fn negative_fee_rejected() {
+        let _ = PricingModel::new(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid per-IOPS")]
+    fn nan_rate_rejected() {
+        let _ = PricingModel::new(0.0, f64::NAN);
+    }
+}

@@ -1,0 +1,264 @@
+//! Response-time *distribution* SLAs and their verification.
+//!
+//! The paper replaces the single worst-case guarantee with "a distribution
+//! of response times": e.g. *90% within 10 ms, 99% within 100 ms, rest best
+//! effort*. [`SlaDistribution`] is that contract as a value, checkable
+//! against any simulation run — the auditor the provider and client both
+//! point at.
+
+use std::fmt;
+
+use gqos_sim::{ResponseStats, RunReport};
+use gqos_trace::SimDuration;
+
+use crate::target::QosTarget;
+
+/// A multi-point response-time SLA: each target binds a fraction of the
+/// *whole* workload to a deadline; targets must tighten monotonically
+/// (larger fractions get larger deadlines).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{QosTarget, SlaDistribution};
+/// use gqos_trace::SimDuration;
+///
+/// let sla = SlaDistribution::new(vec![
+///     QosTarget::new(0.90, SimDuration::from_millis(10)),
+///     QosTarget::new(0.99, SimDuration::from_millis(100)),
+/// ]);
+/// assert_eq!(sla.targets().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SlaDistribution {
+    targets: Vec<QosTarget>,
+}
+
+impl SlaDistribution {
+    /// Creates a distribution SLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty, or fractions/deadlines are not
+    /// strictly increasing.
+    pub fn new(targets: Vec<QosTarget>) -> Self {
+        assert!(!targets.is_empty(), "an SLA needs at least one target");
+        for pair in targets.windows(2) {
+            assert!(
+                pair[0].fraction() < pair[1].fraction(),
+                "SLA fractions must be strictly increasing"
+            );
+            assert!(
+                pair[0].deadline() < pair[1].deadline(),
+                "SLA deadlines must be strictly increasing"
+            );
+        }
+        SlaDistribution { targets }
+    }
+
+    /// The targets, tightest first.
+    pub fn targets(&self) -> &[QosTarget] {
+        &self.targets
+    }
+
+    /// Verifies a simulation run against every target, over the whole
+    /// workload (unfinished requests count as misses).
+    pub fn verify(&self, report: &RunReport) -> SlaVerification {
+        self.verify_stats(&report.stats())
+    }
+
+    /// Verifies pre-computed response statistics against every target.
+    pub fn verify_stats(&self, stats: &ResponseStats) -> SlaVerification {
+        let outcomes = self
+            .targets
+            .iter()
+            .map(|&target| {
+                let achieved = stats.fraction_within(target.deadline());
+                TargetOutcome {
+                    target,
+                    achieved,
+                    met: achieved + 1e-12 >= target.fraction(),
+                }
+            })
+            .collect();
+        SlaVerification { outcomes }
+    }
+}
+
+impl fmt::Display for SlaDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.targets.iter().map(|t| t.to_string()).collect();
+        write!(f, "SLA[{}]", parts.join("; "))
+    }
+}
+
+/// One target's audited outcome.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct TargetOutcome {
+    /// The contractual target.
+    pub target: QosTarget,
+    /// The fraction actually achieved within the target's deadline.
+    pub achieved: f64,
+    /// Whether the target was met.
+    pub met: bool,
+}
+
+impl fmt::Display for TargetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: achieved {:.2}% [{}]",
+            self.target,
+            self.achieved * 100.0,
+            if self.met { "MET" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// The audit result for a whole [`SlaDistribution`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct SlaVerification {
+    outcomes: Vec<TargetOutcome>,
+}
+
+impl SlaVerification {
+    /// Per-target outcomes, tightest target first.
+    pub fn outcomes(&self) -> &[TargetOutcome] {
+        &self.outcomes
+    }
+
+    /// `true` when every target was met.
+    pub fn all_met(&self) -> bool {
+        self.outcomes.iter().all(|o| o.met)
+    }
+
+    /// The violated targets, if any.
+    pub fn violations(&self) -> Vec<TargetOutcome> {
+        self.outcomes.iter().filter(|o| !o.met).copied().collect()
+    }
+
+    /// The worst shortfall across targets: `max(required − achieved, 0)`.
+    pub fn worst_shortfall(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| (o.target.fraction() - o.achieved).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for SlaVerification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: builds the SLA a [`CascadeDecomposer`](crate::CascadeDecomposer)
+/// cascade is designed to deliver, from its levels' cumulative coverage of
+/// a specific workload decomposition.
+pub fn sla_from_fractions(pairs: &[(f64, SimDuration)]) -> SlaDistribution {
+    SlaDistribution::new(
+        pairs
+            .iter()
+            .map(|&(f, d)| QosTarget::new(f, d))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqos_sim::{simulate, FixedRateServer};
+    use gqos_trace::{Iops, SimTime, Workload};
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn sla() -> SlaDistribution {
+        SlaDistribution::new(vec![
+            QosTarget::new(0.90, dms(20)),
+            QosTarget::new(0.99, dms(100)),
+        ])
+    }
+
+    #[test]
+    fn met_sla_verifies_clean() {
+        // A lightly loaded FCFS server: everything is fast.
+        let w = Workload::from_arrivals((0..100).map(|i| SimTime::from_millis(i * 20)));
+        let report = simulate(&w, gqos_sim::FcfsScheduler::new(), FixedRateServer::new(Iops::new(200.0)));
+        let v = sla().verify(&report);
+        assert!(v.all_met(), "{v}");
+        assert!(v.violations().is_empty());
+        assert_eq!(v.worst_shortfall(), 0.0);
+        assert_eq!(v.outcomes().len(), 2);
+    }
+
+    #[test]
+    fn violated_sla_reports_the_shortfall() {
+        // A deep burst on a small server: the 90%-in-20ms target fails.
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 50]);
+        let report = simulate(&w, gqos_sim::FcfsScheduler::new(), FixedRateServer::new(Iops::new(100.0)));
+        let v = sla().verify(&report);
+        assert!(!v.all_met());
+        let violations = v.violations();
+        assert!(!violations.is_empty());
+        assert!(v.worst_shortfall() > 0.5, "shortfall {}", v.worst_shortfall());
+        assert!(v.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn shaped_run_meets_its_planned_distribution() {
+        use crate::{QosTarget as T, RecombinePolicy, WorkloadShaper};
+        let mut arrivals: Vec<SimTime> =
+            (0..300).map(|i| SimTime::from_millis(i * 10)).collect();
+        arrivals.extend(vec![SimTime::from_millis(777); 30]);
+        let w = Workload::from_arrivals(arrivals);
+        let shaper = WorkloadShaper::plan(&w, T::new(0.90, dms(20)));
+        let report = shaper.run(&w, RecombinePolicy::FairQueue);
+        // The plan guarantees the first point; the burst tail clears well
+        // within a second at Cmin + dC.
+        let sla = SlaDistribution::new(vec![
+            QosTarget::new(0.90, dms(20)),
+            QosTarget::new(0.999, SimDuration::from_secs(5)),
+        ]);
+        let v = sla.verify(&report);
+        assert!(v.all_met(), "{v}");
+    }
+
+    #[test]
+    fn helper_builds_from_pairs() {
+        let sla = sla_from_fractions(&[(0.9, dms(10)), (0.99, dms(50))]);
+        assert_eq!(sla.targets().len(), 2);
+        assert!(sla.to_string().contains("SLA["));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_sla_rejected() {
+        let _ = SlaDistribution::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must be strictly increasing")]
+    fn non_increasing_fractions_rejected() {
+        let _ = SlaDistribution::new(vec![
+            QosTarget::new(0.99, dms(10)),
+            QosTarget::new(0.90, dms(50)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlines must be strictly increasing")]
+    fn non_increasing_deadlines_rejected() {
+        let _ = SlaDistribution::new(vec![
+            QosTarget::new(0.90, dms(50)),
+            QosTarget::new(0.99, dms(10)),
+        ]);
+    }
+}

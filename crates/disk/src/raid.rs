@@ -1,0 +1,256 @@
+//! Multi-disk compositions: striping (RAID-0) and mirroring (RAID-1).
+//!
+//! The engine serves one request at a time per server, so these models
+//! capture the *address-mapping* effects of arrays — shorter per-disk head
+//! travel under striping, nearest-head reads under mirroring — while array
+//! parallelism is modelled by adding several servers to a
+//! [`Simulation`](gqos_sim::Simulation).
+
+use std::fmt;
+
+use gqos_sim::ServiceModel;
+use gqos_trace::{LogicalBlock, Request, RequestKind, SimDuration, SimTime};
+
+use crate::model::DiskModel;
+
+/// RAID-0: logical blocks are striped across `N` member disks in
+/// `stripe_sectors`-sized chunks. Each member keeps its own head position,
+/// so a scattered workload splits into `N` shorter seek ranges.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_disk::{DiskModel, StripedArray};
+/// use gqos_sim::ServiceModel;
+/// use gqos_trace::{Request, SimTime};
+///
+/// let disks = (0..4).map(|i| DiskModel::builder().seed(i).build()).collect();
+/// let mut array = StripedArray::new(disks, 128);
+/// let t = array.service_time(&Request::at(SimTime::ZERO), SimTime::ZERO);
+/// assert!(t.as_millis_f64() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StripedArray {
+    disks: Vec<DiskModel>,
+    stripe_sectors: u64,
+}
+
+impl StripedArray {
+    /// Creates a striped array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is empty or `stripe_sectors` is zero.
+    pub fn new(disks: Vec<DiskModel>, stripe_sectors: u64) -> Self {
+        assert!(!disks.is_empty(), "a striped array needs at least one disk");
+        assert!(stripe_sectors > 0, "stripe size must be positive");
+        StripedArray {
+            disks,
+            stripe_sectors,
+        }
+    }
+
+    /// Number of member disks.
+    pub fn width(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The member disk an address maps to, and the address within it.
+    pub fn locate(&self, block: LogicalBlock) -> (usize, LogicalBlock) {
+        let stripe = block.get() / self.stripe_sectors;
+        let disk = (stripe % self.disks.len() as u64) as usize;
+        let local_stripe = stripe / self.disks.len() as u64;
+        let offset = block.get() % self.stripe_sectors;
+        (
+            disk,
+            LogicalBlock::new(local_stripe * self.stripe_sectors + offset),
+        )
+    }
+}
+
+impl ServiceModel for StripedArray {
+    fn service_time(&mut self, request: &Request, now: SimTime) -> SimDuration {
+        let (disk, local) = self.locate(request.block);
+        let local_request = Request {
+            block: local,
+            ..*request
+        };
+        self.disks[disk].service_time(&local_request, now)
+    }
+}
+
+impl fmt::Display for StripedArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RAID-0 x{} (stripe {} sectors)",
+            self.disks.len(),
+            self.stripe_sectors
+        )
+    }
+}
+
+/// RAID-1: two mirrored disks. Reads go to the member whose head is nearer
+/// the target cylinder; writes must land on both (service time is the
+/// slower member's).
+#[derive(Clone, Debug)]
+pub struct MirroredPair {
+    disks: [DiskModel; 2],
+}
+
+impl MirroredPair {
+    /// Creates a mirrored pair.
+    pub fn new(primary: DiskModel, secondary: DiskModel) -> Self {
+        MirroredPair {
+            disks: [primary, secondary],
+        }
+    }
+
+    /// Head cylinder of each member (for inspection).
+    pub fn heads(&self) -> [u64; 2] {
+        [
+            self.disks[0].current_cylinder(),
+            self.disks[1].current_cylinder(),
+        ]
+    }
+}
+
+impl ServiceModel for MirroredPair {
+    fn service_time(&mut self, request: &Request, now: SimTime) -> SimDuration {
+        match request.kind {
+            RequestKind::Read => {
+                let target = self.disks[0].geometry().cylinder_of(request.block);
+                let d0 = self.disks[0].current_cylinder().abs_diff(target);
+                let d1 = self.disks[1].current_cylinder().abs_diff(target);
+                let pick = if d1 < d0 { 1 } else { 0 };
+                self.disks[pick].service_time(request, now)
+            }
+            RequestKind::Write => {
+                let t0 = self.disks[0].service_time(request, now);
+                let t1 = self.disks[1].service_time(request, now);
+                t0.max(t1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for MirroredPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RAID-1 pair")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DiskGeometry;
+
+    fn small_disk(seed: u64) -> DiskModel {
+        DiskModel::builder()
+            .geometry(DiskGeometry::new(1000, 2, 100, 512, 10_000))
+            .seed(seed)
+            .build()
+    }
+
+    fn read_at(lba: u64) -> Request {
+        Request::at(SimTime::ZERO).with_block(LogicalBlock::new(lba))
+    }
+
+    #[test]
+    fn locate_round_robins_stripes() {
+        let array = StripedArray::new(vec![small_disk(0), small_disk(1), small_disk(2)], 10);
+        // Stripe 0 -> disk 0, stripe 1 -> disk 1, stripe 2 -> disk 2,
+        // stripe 3 -> disk 0 at local stripe 1.
+        assert_eq!(array.locate(LogicalBlock::new(5)).0, 0);
+        assert_eq!(array.locate(LogicalBlock::new(15)).0, 1);
+        assert_eq!(array.locate(LogicalBlock::new(25)).0, 2);
+        let (disk, local) = array.locate(LogicalBlock::new(35));
+        assert_eq!(disk, 0);
+        assert_eq!(local, LogicalBlock::new(15)); // local stripe 1, offset 5
+        assert_eq!(array.width(), 3);
+    }
+
+    #[test]
+    fn striping_reduces_sequential_scan_seeks() {
+        // A scan across a wide LBA range: with 4 disks each head travels a
+        // quarter of the distance, so total service time drops.
+        let lbas: Vec<u64> = (0..64u64).map(|i| i * 3_000).collect();
+        let mut single = small_disk(7);
+        let single_total: SimDuration = lbas
+            .iter()
+            .map(|&l| single.service_time(&read_at(l), SimTime::ZERO))
+            .sum();
+        let mut array = StripedArray::new(
+            (0..4).map(|i| small_disk(10 + i)).collect(),
+            100,
+        );
+        let array_total: SimDuration = lbas
+            .iter()
+            .map(|&l| array.service_time(&read_at(l), SimTime::ZERO))
+            .sum();
+        assert!(
+            array_total < single_total,
+            "array {array_total} vs single {single_total}"
+        );
+    }
+
+    #[test]
+    fn mirrored_reads_pick_the_nearer_head() {
+        let mut pair = MirroredPair::new(small_disk(1), small_disk(2));
+        // Move disk 0's head far away, disk 1's head near the target.
+        let far = read_at(900 * 200); // cylinder 900
+        let near = read_at(10 * 200); // cylinder 10
+        pair.disks[0].service_time(&far, SimTime::ZERO);
+        pair.disks[1].service_time(&near, SimTime::ZERO);
+        assert_eq!(pair.heads(), [900, 10]);
+        // A read at cylinder 12 must go to disk 1.
+        let _ = pair.service_time(&read_at(12 * 200), SimTime::ZERO);
+        assert_eq!(pair.heads()[1], 12);
+        assert_eq!(pair.heads()[0], 900);
+    }
+
+    #[test]
+    fn mirrored_writes_hit_both_members() {
+        let mut pair = MirroredPair::new(small_disk(1), small_disk(2));
+        let write = read_at(500 * 200).with_kind(RequestKind::Write);
+        let t = pair.service_time(&write, SimTime::ZERO);
+        assert_eq!(pair.heads(), [500, 500]);
+        // The write takes at least as long as either member alone would.
+        let mut solo = small_disk(3);
+        let solo_t = solo.service_time(&read_at(500 * 200), SimTime::ZERO);
+        assert!(t >= solo_t);
+    }
+
+    #[test]
+    fn array_works_in_the_engine() {
+        use gqos_sim::{simulate, FcfsScheduler};
+        use gqos_trace::Workload;
+
+        let w = Workload::from_requests(
+            (0..30u64).map(|i| read_at(i * 7_777).with_id(gqos_trace::RequestId::new(i))),
+        );
+        let array = StripedArray::new((0..4).map(small_disk).collect(), 64);
+        let report = simulate(&w, FcfsScheduler::new(), array);
+        assert_eq!(report.completed(), 30);
+    }
+
+    #[test]
+    fn display_strings() {
+        let array = StripedArray::new(vec![small_disk(0)], 8);
+        assert!(array.to_string().contains("RAID-0"));
+        let pair = MirroredPair::new(small_disk(0), small_disk(1));
+        assert!(pair.to_string().contains("RAID-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn empty_array_rejected() {
+        let _ = StripedArray::new(vec![], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe size")]
+    fn zero_stripe_rejected() {
+        let _ = StripedArray::new(vec![small_disk(0)], 0);
+    }
+}

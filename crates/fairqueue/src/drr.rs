@@ -1,0 +1,224 @@
+//! Deficit round robin (Shreedhar & Varghese, 1995).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gqos_trace::Request;
+
+use crate::flow::{validate_weights, FlowId};
+use crate::scheduler::FlowScheduler;
+
+/// Deficit round robin: flows are visited cyclically; each visit credits
+/// the flow's deficit counter with a weight-proportional quantum, and the
+/// flow serves requests while it can pay for them. `O(1)` per dispatch and
+/// no virtual clocks — the cheapest proportional-share scheduler.
+///
+/// Requests are unit jobs here, so the quantum of flow `i` is
+/// `weights[i] / min(weights)` units per round (the smallest flow pays for
+/// exactly one request per round).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_fairqueue::{Drr, FlowId, FlowScheduler};
+/// use gqos_trace::{Request, SimTime};
+///
+/// let mut drr = Drr::new(&[2.0, 1.0]);
+/// for _ in 0..3 {
+///     drr.enqueue(FlowId::new(0), Request::at(SimTime::ZERO));
+///     drr.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+/// }
+/// // Over a full round, flow 0 serves twice as much.
+/// let (first, _) = drr.dequeue().unwrap();
+/// assert_eq!(first, FlowId::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Drr {
+    quanta: Vec<f64>,
+    deficits: Vec<f64>,
+    queues: Vec<VecDeque<Request>>,
+    /// Index of the flow currently holding the round-robin pointer.
+    cursor: usize,
+    len: usize,
+}
+
+impl Drr {
+    /// Creates a scheduler with one flow per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not finite and
+    /// positive.
+    pub fn new(weights: &[f64]) -> Self {
+        validate_weights(weights);
+        let min = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        Drr {
+            quanta: weights.iter().map(|w| w / min).collect(),
+            deficits: vec![0.0; weights.len()],
+            queues: weights.iter().map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// The deficit counter of a flow.
+    pub fn deficit(&self, flow: FlowId) -> f64 {
+        self.deficits[flow.index()]
+    }
+}
+
+impl FlowScheduler for Drr {
+    fn flows(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn enqueue(&mut self, flow: FlowId, request: Request) {
+        let i = flow.index();
+        assert!(i < self.queues.len(), "unknown flow {flow}");
+        self.queues[i].push_back(request);
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<(FlowId, Request)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        // At most two full rounds are needed: one to credit quanta, one to
+        // find the payable head (quanta >= 1 for every flow).
+        for _ in 0..(2 * n + 1) {
+            let i = self.cursor;
+            if self.queues[i].is_empty() {
+                // Idle flows do not bank deficit.
+                self.deficits[i] = 0.0;
+                self.cursor = (i + 1) % n;
+                continue;
+            }
+            if self.deficits[i] >= 1.0 {
+                self.deficits[i] -= 1.0;
+                let request = self.queues[i].pop_front().expect("checked non-empty");
+                self.len -= 1;
+                // Keep the cursor: the flow may spend the rest of its
+                // deficit before the pointer moves on.
+                if self.deficits[i] < 1.0 || self.queues[i].is_empty() {
+                    if self.queues[i].is_empty() {
+                        self.deficits[i] = 0.0;
+                    }
+                    self.cursor = (i + 1) % n;
+                }
+                return Some((FlowId::new(i), request));
+            }
+            // New visit: credit the quantum.
+            self.deficits[i] += self.quanta[i];
+            if self.deficits[i] < 1.0 {
+                self.cursor = (i + 1) % n;
+            }
+        }
+        unreachable!("a backlogged flow must become payable within two rounds");
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn flow_len(&self, flow: FlowId) -> usize {
+        self.queues[flow.index()].len()
+    }
+}
+
+impl fmt::Display for Drr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DRR({} flows, {} queued)", self.queues.len(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::*;
+
+    #[test]
+    fn weighted_share_2_to_1() {
+        check_weighted_share(Drr::new(&[2.0, 1.0]), 2.0, 1.0);
+    }
+
+    #[test]
+    fn weighted_share_5_to_1() {
+        check_weighted_share(Drr::new(&[5.0, 1.0]), 5.0, 1.0);
+    }
+
+    #[test]
+    fn work_conserving() {
+        check_work_conserving(Drr::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn no_idle_credit() {
+        check_no_idle_credit(Drr::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        check_fifo_within_flow(Drr::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn round_pattern_follows_quanta() {
+        // Weights 3:1 -> each round serves 3 from flow 0, then 1 from
+        // flow 1.
+        let mut drr = Drr::new(&[3.0, 1.0]);
+        for i in 0..8 {
+            drr.enqueue(FlowId::new(0), request(i));
+        }
+        for i in 0..8 {
+            drr.enqueue(FlowId::new(1), request(i));
+        }
+        let order: Vec<usize> = (0..8)
+            .map(|_| drr.dequeue().expect("backlogged").0.index())
+            .collect();
+        assert_eq!(order, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn deficit_resets_when_flow_empties() {
+        let mut drr = Drr::new(&[4.0, 1.0]);
+        drr.enqueue(FlowId::new(0), request(0));
+        drr.enqueue(FlowId::new(1), request(1));
+        // Flow 0 serves its single request; its 3 leftover quanta must not
+        // persist into the next backlog.
+        assert_eq!(drr.dequeue().unwrap().0, FlowId::new(0));
+        assert_eq!(drr.deficit(FlowId::new(0)), 0.0);
+        assert_eq!(drr.dequeue().unwrap().0, FlowId::new(1));
+    }
+
+    #[test]
+    fn quanta_scale_to_smallest_weight() {
+        // Weights 1:2 -> quanta 1 and 2: each round serves one request of
+        // flow 0 and two of flow 1.
+        let mut drr = Drr::new(&[1.0, 2.0]);
+        for i in 0..9 {
+            drr.enqueue(FlowId::new(0), request(i));
+            drr.enqueue(FlowId::new(1), request(i));
+        }
+        let mut served = [0usize; 2];
+        for _ in 0..9 {
+            served[drr.dequeue().unwrap().0.index()] += 1;
+        }
+        assert_eq!(served, [3, 6]);
+    }
+
+    #[test]
+    fn empty_dequeue_and_display() {
+        let mut drr = Drr::new(&[1.0]);
+        assert!(drr.dequeue().is_none());
+        assert!(drr.to_string().contains("DRR"));
+        assert_eq!(drr.flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn enqueue_validates_flow() {
+        let mut drr = Drr::new(&[1.0]);
+        drr.enqueue(FlowId::new(2), request(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Flow identities and weight validation shared by the fair schedulers.
+
+use std::fmt;
+
+/// Identifier of a flow within one fair-queueing scheduler.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default, Debug)]
+pub struct FlowId(usize);
+
+impl FlowId {
+    /// Creates a flow id from its index.
+    pub const fn new(index: usize) -> Self {
+        FlowId(index)
+    }
+
+    /// The flow's index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// Validates a weight vector: non-empty, all finite and strictly positive.
+///
+/// # Panics
+///
+/// Panics on an invalid weight vector (programmer error).
+pub(crate) fn validate_weights(weights: &[f64]) {
+    assert!(!weights.is_empty(), "at least one flow weight is required");
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(
+            w.is_finite() && w > 0.0,
+            "flow {i} has invalid weight {w}; weights must be finite and positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_round_trips() {
+        let f = FlowId::new(2);
+        assert_eq!(f.index(), 2);
+        assert_eq!(f.to_string(), "flow2");
+    }
+
+    #[test]
+    fn valid_weights_pass() {
+        validate_weights(&[1.0, 2.5, 0.001]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_weights_rejected() {
+        validate_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn zero_weight_rejected() {
+        validate_weights(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn nan_weight_rejected() {
+        validate_weights(&[f64::NAN]);
+    }
+}

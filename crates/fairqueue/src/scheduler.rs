@@ -1,0 +1,135 @@
+//! The common interface of the proportional-share schedulers.
+
+use gqos_trace::Request;
+
+use crate::flow::FlowId;
+
+/// A proportional-share scheduler multiplexing several flows onto one
+/// server.
+///
+/// Requests are unit jobs (the storage convention the paper adopts: the OS
+/// has already split large I/Os into comparable block requests), so a flow
+/// of weight `w_i` receives a `w_i / Σw` share of dispatches while
+/// backlogged.
+pub trait FlowScheduler {
+    /// Number of flows the scheduler was built with.
+    fn flows(&self) -> usize;
+
+    /// Queues `request` on `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    fn enqueue(&mut self, flow: FlowId, request: Request);
+
+    /// Removes and returns the next request to serve, with its flow.
+    /// Returns `None` when all flows are empty.
+    fn dequeue(&mut self) -> Option<(FlowId, Request)>;
+
+    /// Total queued requests across all flows.
+    fn len(&self) -> usize;
+
+    /// `true` when no requests are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queued requests on one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    fn flow_len(&self, flow: FlowId) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared behavioural tests run against every [`FlowScheduler`].
+
+    use gqos_trace::{Request, SimTime};
+
+    use super::*;
+
+    pub fn request(n: u64) -> Request {
+        Request::at(SimTime::from_millis(n))
+    }
+
+    /// While both flows stay backlogged, dispatch shares must approach the
+    /// weight ratio.
+    pub fn check_weighted_share<S: FlowScheduler>(mut s: S, w0: f64, w1: f64) {
+        const N: usize = 600;
+        for i in 0..N {
+            s.enqueue(FlowId::new(0), request(i as u64));
+            s.enqueue(FlowId::new(1), request(i as u64));
+        }
+        let mut served = [0usize; 2];
+        // Serve while both are backlogged.
+        for _ in 0..N {
+            let (f, _) = s.dequeue().expect("backlogged");
+            served[f.index()] += 1;
+            if s.flow_len(FlowId::new(0)) == 0 || s.flow_len(FlowId::new(1)) == 0 {
+                break;
+            }
+        }
+        let expected = w0 / (w0 + w1);
+        let got = served[0] as f64 / (served[0] + served[1]) as f64;
+        assert!(
+            (got - expected).abs() < 0.05,
+            "weighted share: expected {expected:.3}, got {got:.3} ({served:?})"
+        );
+    }
+
+    /// An idle flow must not block a backlogged one (work conservation).
+    pub fn check_work_conserving<S: FlowScheduler>(mut s: S) {
+        for i in 0..10 {
+            s.enqueue(FlowId::new(1), request(i));
+        }
+        for _ in 0..10 {
+            let (f, _) = s.dequeue().expect("flow 1 backlogged");
+            assert_eq!(f, FlowId::new(1));
+        }
+        assert!(s.dequeue().is_none());
+        assert!(s.is_empty());
+    }
+
+    /// A flow that goes idle must not accumulate credit: after rejoining it
+    /// may not monopolise the server.
+    pub fn check_no_idle_credit<S: FlowScheduler>(mut s: S) {
+        // Flow 1 serves alone for a long stretch.
+        for i in 0..100 {
+            s.enqueue(FlowId::new(1), request(i));
+        }
+        for _ in 0..100 {
+            s.dequeue().expect("backlogged");
+        }
+        // Flow 0 becomes active; both now backlogged with equal weights.
+        for i in 0..100 {
+            s.enqueue(FlowId::new(0), request(i));
+            s.enqueue(FlowId::new(1), request(i));
+        }
+        let mut first_20 = [0usize; 2];
+        for _ in 0..20 {
+            let (f, _) = s.dequeue().expect("backlogged");
+            first_20[f.index()] += 1;
+        }
+        // Without idle-credit protection flow 0 would win all 20.
+        assert!(
+            first_20[1] >= 8,
+            "flow 1 starved after flow 0 rejoined: {first_20:?}"
+        );
+    }
+
+    /// FIFO order within a single flow.
+    pub fn check_fifo_within_flow<S: FlowScheduler>(mut s: S) {
+        for i in 0..5 {
+            s.enqueue(FlowId::new(0), request(i));
+        }
+        let mut last = None;
+        while let Some((_, r)) = s.dequeue() {
+            if let Some(prev) = last {
+                assert!(r.arrival > prev, "within-flow order violated");
+            }
+            last = Some(r.arrival);
+        }
+    }
+}

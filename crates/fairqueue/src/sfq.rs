@@ -1,0 +1,170 @@
+//! Start-time fair queueing (Goyal, Vin, Cheng).
+
+use std::collections::VecDeque;
+
+use gqos_trace::Request;
+
+use crate::flow::{validate_weights, FlowId};
+use crate::scheduler::FlowScheduler;
+
+/// Start-time fair queueing: each request gets a virtual *start* tag
+/// `S = max(v, F_prev)` and finish tag `F = S + 1/w` at arrival; dispatch
+/// picks the smallest start tag, and the virtual clock `v` is set to the
+/// start tag of the request in service.
+///
+/// SFQ's defining property (and why the storage QoS literature favours it)
+/// is that the virtual clock needs no rate information about the server —
+/// it works unchanged over servers of fluctuating capacity, such as a disk
+/// whose throughput depends on locality.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_fairqueue::{FlowId, FlowScheduler, Sfq};
+/// use gqos_trace::{Request, SimTime};
+///
+/// let mut sfq = Sfq::new(&[1.0, 1.0]);
+/// sfq.enqueue(FlowId::new(0), Request::at(SimTime::ZERO));
+/// sfq.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+/// assert_eq!(sfq.len(), 2);
+/// assert!(sfq.dequeue().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sfq {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<(Request, f64)>>, // (request, start tag)
+    last_finish: Vec<f64>,
+    virtual_time: f64,
+    len: usize,
+}
+
+impl Sfq {
+    /// Creates a scheduler with one flow per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not finite and
+    /// positive.
+    pub fn new(weights: &[f64]) -> Self {
+        validate_weights(weights);
+        Sfq {
+            weights: weights.to_vec(),
+            queues: weights.iter().map(|_| VecDeque::new()).collect(),
+            last_finish: vec![0.0; weights.len()],
+            virtual_time: 0.0,
+            len: 0,
+        }
+    }
+
+    /// The current virtual time (start tag of the last dispatch).
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+}
+
+impl FlowScheduler for Sfq {
+    fn flows(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn enqueue(&mut self, flow: FlowId, request: Request) {
+        let i = flow.index();
+        assert!(i < self.queues.len(), "unknown flow {flow}");
+        let start = self.virtual_time.max(self.last_finish[i]);
+        self.last_finish[i] = start + 1.0 / self.weights[i];
+        self.queues[i].push_back((request, start));
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<(FlowId, Request)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(&(_, start)) = q.front() {
+                let better = match best {
+                    None => true,
+                    Some((_, best_s)) => start < best_s,
+                };
+                if better {
+                    best = Some((i, start));
+                }
+            }
+        }
+        let (i, start) = best?;
+        let (request, _) = self.queues[i].pop_front().expect("non-empty head");
+        self.virtual_time = start;
+        self.len -= 1;
+        Some((FlowId::new(i), request))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn flow_len(&self, flow: FlowId) -> usize {
+        self.queues[flow.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::*;
+    use gqos_trace::SimTime;
+
+    #[test]
+    fn weighted_share_2_to_1() {
+        check_weighted_share(Sfq::new(&[2.0, 1.0]), 2.0, 1.0);
+    }
+
+    #[test]
+    fn weighted_share_1_to_4() {
+        check_weighted_share(Sfq::new(&[1.0, 4.0]), 1.0, 4.0);
+    }
+
+    #[test]
+    fn work_conserving() {
+        check_work_conserving(Sfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn no_idle_credit() {
+        check_no_idle_credit(Sfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        check_fifo_within_flow(Sfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn start_tags_never_precede_virtual_time() {
+        let mut s = Sfq::new(&[1.0, 1.0]);
+        // Serve flow 0 alone for a while; v advances.
+        for i in 0..50 {
+            s.enqueue(FlowId::new(0), request(i));
+        }
+        for _ in 0..50 {
+            s.dequeue();
+        }
+        let v = s.virtual_time();
+        assert!(v > 0.0);
+        // Newly active flow 1 starts at v, not at 0.
+        s.enqueue(FlowId::new(1), request(99));
+        let (_, _) = s.dequeue().expect("one pending");
+        assert!(s.virtual_time() >= v);
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut s = Sfq::new(&[1.0]);
+        assert!(s.dequeue().is_none());
+        assert_eq!(s.flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn enqueue_validates_flow() {
+        let mut s = Sfq::new(&[1.0]);
+        s.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+    }
+}

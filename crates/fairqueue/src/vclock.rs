@@ -1,0 +1,221 @@
+//! Virtual Clock scheduling (Zhang, 1990).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gqos_trace::{Request, SimDuration, SimTime};
+
+use crate::flow::FlowId;
+use crate::scheduler::FlowScheduler;
+
+/// Virtual Clock: each flow reserves an absolute rate `ρ_i` (requests per
+/// second); request `j` of flow `i` is stamped
+/// `VC_i = max(arrival, VC_i) + 1/ρ_i` and the smallest stamp is served
+/// first.
+///
+/// Unlike the relative-weight schedulers ([`Wfq`](crate::Wfq) and
+/// friends), Virtual Clock enforces *absolute* reservations against real
+/// time: a flow within its reservation is insulated from any backlog, but
+/// a flow that over-drives accumulates stamp debt it keeps even after
+/// going idle — the classic punishment behaviour that motivated fair
+/// queueing's virtual-time designs, observable in the tests.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_fairqueue::{FlowId, FlowScheduler, VirtualClock};
+/// use gqos_trace::{Request, SimTime};
+///
+/// let mut vc = VirtualClock::new(&[100.0, 50.0]);
+/// vc.enqueue(FlowId::new(0), Request::at(SimTime::ZERO));
+/// vc.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+/// // 1/100 s stamp beats 1/50 s stamp.
+/// assert_eq!(vc.dequeue().unwrap().0, FlowId::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualClock {
+    rates: Vec<f64>,
+    stamps: Vec<f64>, // per-flow running virtual clock (seconds)
+    queues: Vec<VecDeque<(Request, f64)>>,
+    len: usize,
+}
+
+impl VirtualClock {
+    /// Creates a scheduler with one flow per reserved rate (requests/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or any rate is not finite and positive.
+    pub fn new(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "at least one flow rate is required");
+        for (i, &r) in rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "flow {i} has invalid rate {r}; rates must be finite and positive"
+            );
+        }
+        VirtualClock {
+            rates: rates.to_vec(),
+            stamps: vec![0.0; rates.len()],
+            queues: rates.iter().map(|_| VecDeque::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// The virtual-clock stamp a flow's next request would extend from.
+    pub fn stamp(&self, flow: FlowId) -> SimTime {
+        SimTime::from_secs_f64(self.stamps[flow.index()].max(0.0))
+    }
+
+    /// Lateness of a flow's clock behind real time `now` — positive values
+    /// mean the flow is under-using its reservation.
+    pub fn credit(&self, flow: FlowId, now: SimTime) -> SimDuration {
+        let stamp = self.stamps[flow.index()];
+        SimDuration::from_secs_f64((now.as_secs_f64() - stamp).max(0.0))
+    }
+}
+
+impl FlowScheduler for VirtualClock {
+    fn flows(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn enqueue(&mut self, flow: FlowId, request: Request) {
+        let i = flow.index();
+        assert!(i < self.queues.len(), "unknown flow {flow}");
+        let arrival = request.arrival.as_secs_f64();
+        let stamp = self.stamps[i].max(arrival) + 1.0 / self.rates[i];
+        self.stamps[i] = stamp;
+        self.queues[i].push_back((request, stamp));
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<(FlowId, Request)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(&(_, stamp)) = q.front() {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => stamp < b,
+                };
+                if better {
+                    best = Some((i, stamp));
+                }
+            }
+        }
+        let (i, _) = best?;
+        let (request, _) = self.queues[i].pop_front().expect("non-empty head");
+        self.len -= 1;
+        Some((FlowId::new(i), request))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn flow_len(&self, flow: FlowId) -> usize {
+        self.queues[flow.index()].len()
+    }
+}
+
+impl fmt::Display for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VirtualClock({} flows, {} queued)",
+            self.rates.len(),
+            self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn rate_proportional_share_while_backlogged() {
+        // All requests arrive at once (a true backlog), so the stamps are
+        // driven purely by the reservations: flow 0 gets 2/3 of dispatches.
+        let mut vc = VirtualClock::new(&[200.0, 100.0]);
+        for _ in 0..300 {
+            vc.enqueue(FlowId::new(0), Request::at(ms(0)));
+            vc.enqueue(FlowId::new(1), Request::at(ms(0)));
+        }
+        let mut served = [0usize; 2];
+        for _ in 0..300 {
+            let (f, _) = vc.dequeue().expect("backlogged");
+            served[f.index()] += 1;
+        }
+        let share = served[0] as f64 / 300.0;
+        assert!((share - 2.0 / 3.0).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn work_conserving() {
+        check_work_conserving(VirtualClock::new(&[100.0, 100.0]));
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        check_fifo_within_flow(VirtualClock::new(&[100.0, 100.0]));
+    }
+
+    #[test]
+    fn stamps_track_reservation() {
+        let mut vc = VirtualClock::new(&[100.0]);
+        vc.enqueue(FlowId::new(0), Request::at(ms(0)));
+        assert_eq!(vc.stamp(FlowId::new(0)), ms(10));
+        vc.enqueue(FlowId::new(0), Request::at(ms(0)));
+        assert_eq!(vc.stamp(FlowId::new(0)), ms(20));
+        // Arrival after the stamp resets to real time.
+        vc.enqueue(FlowId::new(0), Request::at(ms(500)));
+        assert_eq!(vc.stamp(FlowId::new(0)), ms(510));
+    }
+
+    #[test]
+    fn overdriving_flow_accumulates_debt_and_is_punished() {
+        // Flow 1 blasts 100 requests at t = 0 against a 10/s reservation:
+        // its stamps run 10 s into the virtual future. A conforming flow 0
+        // request arriving later is served immediately after the current
+        // one, ahead of the entire backlog — the Virtual Clock hallmark.
+        let mut vc = VirtualClock::new(&[10.0, 10.0]);
+        for _ in 0..100 {
+            vc.enqueue(FlowId::new(1), Request::at(ms(0)));
+        }
+        vc.dequeue(); // flow 1's first request in service
+        vc.enqueue(FlowId::new(0), Request::at(ms(100)));
+        let (next, _) = vc.dequeue().expect("queued");
+        assert_eq!(next, FlowId::new(0));
+        // Flow 1's remaining debt persists.
+        assert!(vc.stamp(FlowId::new(1)) >= SimTime::from_secs(10));
+        assert_eq!(vc.credit(FlowId::new(1), ms(100)), SimDuration::ZERO);
+        assert!(vc.credit(FlowId::new(0), SimTime::from_secs(60)) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut vc = VirtualClock::new(&[1.0]);
+        assert!(vc.dequeue().is_none());
+        assert_eq!(vc.flows(), 1);
+        assert!(vc.to_string().contains("VirtualClock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_rejected() {
+        let _ = VirtualClock::new(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn enqueue_validates_flow() {
+        let mut vc = VirtualClock::new(&[1.0]);
+        vc.enqueue(FlowId::new(3), Request::at(ms(0)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Worst-case fair weighted fair queueing plus (WF²Q+).
+
+use std::collections::VecDeque;
+
+use gqos_trace::Request;
+
+use crate::flow::{validate_weights, FlowId};
+use crate::scheduler::FlowScheduler;
+
+const EPS: f64 = 1e-9;
+
+/// WF²Q+ (Bennett & Zhang): dispatch the smallest-finish-tag request among
+/// *eligible* flows — those whose head start tag does not exceed the system
+/// virtual time. Eligibility prevents a high-weight flow from running ahead
+/// of its fluid (GPS) service, giving the worst-case fairness bound that
+/// plain WFQ lacks.
+///
+/// The system virtual time advances by `1/Σw` per unit of work and never
+/// falls below the smallest backlogged start tag, so at least one flow is
+/// always eligible and the scheduler stays work-conserving.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_fairqueue::{FlowId, FlowScheduler, Wf2q};
+/// use gqos_trace::{Request, SimTime};
+///
+/// let mut q = Wf2q::new(&[3.0, 1.0]);
+/// q.enqueue(FlowId::new(0), Request::at(SimTime::ZERO));
+/// q.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+/// assert_eq!(q.dequeue().unwrap().0, FlowId::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Wf2q {
+    weights: Vec<f64>,
+    total_weight: f64,
+    queues: Vec<VecDeque<Request>>,
+    /// Virtual start tag of each flow's head request (valid while
+    /// backlogged).
+    head_start: Vec<f64>,
+    /// Virtual finish tag of the last request enqueued per flow.
+    last_finish: Vec<f64>,
+    virtual_time: f64,
+    len: usize,
+}
+
+impl Wf2q {
+    /// Creates a scheduler with one flow per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not finite and
+    /// positive.
+    pub fn new(weights: &[f64]) -> Self {
+        validate_weights(weights);
+        Wf2q {
+            weights: weights.to_vec(),
+            total_weight: weights.iter().sum(),
+            queues: weights.iter().map(|_| VecDeque::new()).collect(),
+            head_start: vec![0.0; weights.len()],
+            last_finish: vec![0.0; weights.len()],
+            virtual_time: 0.0,
+            len: 0,
+        }
+    }
+
+    /// The system virtual time.
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+
+    fn min_backlogged_start(&self) -> Option<f64> {
+        let mut min = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                let s = self.head_start[i];
+                min = Some(match min {
+                    None => s,
+                    Some(m) if s < m => s,
+                    Some(m) => m,
+                });
+            }
+        }
+        min
+    }
+}
+
+impl FlowScheduler for Wf2q {
+    fn flows(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn enqueue(&mut self, flow: FlowId, request: Request) {
+        let i = flow.index();
+        assert!(i < self.queues.len(), "unknown flow {flow}");
+        if self.queues[i].is_empty() {
+            // A newly backlogged flow starts no earlier than the system
+            // virtual time (no credit for idle periods).
+            let start = self.virtual_time.max(self.last_finish[i]);
+            self.head_start[i] = start;
+            self.last_finish[i] = start + 1.0 / self.weights[i];
+        } else {
+            self.last_finish[i] += 1.0 / self.weights[i];
+        }
+        self.queues[i].push_back(request);
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<(FlowId, Request)> {
+        // Keep V no smaller than the smallest backlogged start tag so that
+        // at least one flow is eligible.
+        let min_start = self.min_backlogged_start()?;
+        self.virtual_time = self.virtual_time.max(min_start);
+
+        // Among eligible flows (S ≤ V), pick the smallest finish tag
+        // F = S + 1/w of the head request.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if q.is_empty() || self.head_start[i] > self.virtual_time + EPS {
+                continue;
+            }
+            let finish = self.head_start[i] + 1.0 / self.weights[i];
+            let better = match best {
+                None => true,
+                Some((_, bf)) => finish < bf,
+            };
+            if better {
+                best = Some((i, finish));
+            }
+        }
+        let (i, finish) = best.expect("V >= min start tag implies an eligible flow");
+        let request = self.queues[i].pop_front().expect("eligible flow backlogged");
+        // The flow's next head starts where the served request finished.
+        self.head_start[i] = finish;
+        self.len -= 1;
+        // One unit of work advances the system clock by 1/Σw.
+        self.virtual_time += 1.0 / self.total_weight;
+        Some((FlowId::new(i), request))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn flow_len(&self, flow: FlowId) -> usize {
+        self.queues[flow.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::*;
+    use gqos_trace::SimTime;
+
+    #[test]
+    fn weighted_share_2_to_1() {
+        check_weighted_share(Wf2q::new(&[2.0, 1.0]), 2.0, 1.0);
+    }
+
+    #[test]
+    fn weighted_share_10_to_1() {
+        check_weighted_share(Wf2q::new(&[10.0, 1.0]), 10.0, 1.0);
+    }
+
+    #[test]
+    fn work_conserving() {
+        check_work_conserving(Wf2q::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn no_idle_credit() {
+        check_no_idle_credit(Wf2q::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        check_fifo_within_flow(Wf2q::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn eligibility_interleaves_heavy_flow() {
+        // Weight 3:1 — WF2Q+ must not serve four flow-0 requests in a row
+        // from the start (worst-case fairness); the pattern interleaves.
+        let mut q = Wf2q::new(&[3.0, 1.0]);
+        for i in 0..8 {
+            q.enqueue(FlowId::new(0), request(i));
+            q.enqueue(FlowId::new(1), request(i));
+        }
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            order.push(q.dequeue().expect("backlogged").0.index());
+        }
+        // In any window of 4 dispatches, flow 1 appears at least once.
+        for w in order.windows(4) {
+            assert!(w.contains(&1), "flow 1 shut out in {order:?}");
+        }
+    }
+
+    #[test]
+    fn virtual_time_monotonic() {
+        let mut q = Wf2q::new(&[1.0, 2.0]);
+        for i in 0..30 {
+            q.enqueue(FlowId::new((i % 2) as usize), request(i));
+        }
+        let mut v = q.virtual_time();
+        while q.dequeue().is_some() {
+            assert!(q.virtual_time() >= v);
+            v = q.virtual_time();
+        }
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut q = Wf2q::new(&[1.0]);
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.flows(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn enqueue_validates_flow() {
+        let mut q = Wf2q::new(&[1.0]);
+        q.enqueue(FlowId::new(9), Request::at(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,182 @@
+//! Self-clocked weighted fair queueing (finish-tag based).
+
+use std::collections::VecDeque;
+
+use gqos_trace::Request;
+
+use crate::flow::{validate_weights, FlowId};
+use crate::scheduler::FlowScheduler;
+
+/// Weighted fair queueing in its self-clocked form (SCFQ): each request gets
+/// a virtual *finish* tag `F = max(v, F_prev) + 1/w` at arrival, where `v`
+/// is the finish tag of the request most recently dispatched; dispatch picks
+/// the smallest finish tag.
+///
+/// This is the practical approximation of PGPS/WFQ that storage QoS
+/// schedulers build on; it provides proportional sharing with an `O(1)`
+/// virtual clock instead of a fluid-system emulation.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_fairqueue::{FlowId, FlowScheduler, Wfq};
+/// use gqos_trace::{Request, SimTime};
+///
+/// let mut wfq = Wfq::new(&[2.0, 1.0]); // flow 0 gets 2/3 of the service
+/// wfq.enqueue(FlowId::new(0), Request::at(SimTime::ZERO));
+/// wfq.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+/// let (first, _) = wfq.dequeue().unwrap();
+/// assert_eq!(first, FlowId::new(0)); // smaller finish tag: 1/2 < 1/1
+/// ```
+#[derive(Clone, Debug)]
+pub struct Wfq {
+    weights: Vec<f64>,
+    queues: Vec<VecDeque<(Request, f64)>>, // (request, finish tag)
+    last_finish: Vec<f64>,
+    virtual_time: f64,
+    len: usize,
+}
+
+impl Wfq {
+    /// Creates a scheduler with one flow per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not finite and
+    /// positive.
+    pub fn new(weights: &[f64]) -> Self {
+        validate_weights(weights);
+        Wfq {
+            weights: weights.to_vec(),
+            queues: weights.iter().map(|_| VecDeque::new()).collect(),
+            last_finish: vec![0.0; weights.len()],
+            virtual_time: 0.0,
+            len: 0,
+        }
+    }
+
+    /// The current virtual time (finish tag of the last dispatch).
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+}
+
+impl FlowScheduler for Wfq {
+    fn flows(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn enqueue(&mut self, flow: FlowId, request: Request) {
+        let i = flow.index();
+        assert!(i < self.queues.len(), "unknown flow {flow}");
+        let start = if self.queues[i].is_empty() {
+            self.virtual_time.max(self.last_finish[i])
+        } else {
+            self.last_finish[i]
+        };
+        let finish = start + 1.0 / self.weights[i];
+        self.last_finish[i] = finish;
+        self.queues[i].push_back((request, finish));
+        self.len += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<(FlowId, Request)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(&(_, finish)) = q.front() {
+                let better = match best {
+                    None => true,
+                    Some((_, best_f)) => finish < best_f,
+                };
+                if better {
+                    best = Some((i, finish));
+                }
+            }
+        }
+        let (i, finish) = best?;
+        let (request, _) = self.queues[i].pop_front().expect("non-empty head");
+        self.virtual_time = finish;
+        self.len -= 1;
+        Some((FlowId::new(i), request))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn flow_len(&self, flow: FlowId) -> usize {
+        self.queues[flow.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_support::*;
+    use gqos_trace::SimTime;
+
+    #[test]
+    fn weighted_share_2_to_1() {
+        check_weighted_share(Wfq::new(&[2.0, 1.0]), 2.0, 1.0);
+    }
+
+    #[test]
+    fn weighted_share_9_to_1() {
+        check_weighted_share(Wfq::new(&[9.0, 1.0]), 9.0, 1.0);
+    }
+
+    #[test]
+    fn work_conserving() {
+        check_work_conserving(Wfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn no_idle_credit() {
+        check_no_idle_credit(Wfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        check_fifo_within_flow(Wfq::new(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn virtual_time_is_monotonic() {
+        let mut w = Wfq::new(&[1.0, 3.0]);
+        for i in 0..20 {
+            w.enqueue(FlowId::new(i % 2), request(i as u64));
+        }
+        let mut last_v = w.virtual_time();
+        while w.dequeue().is_some() {
+            assert!(w.virtual_time() >= last_v);
+            last_v = w.virtual_time();
+        }
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut w = Wfq::new(&[1.0]);
+        assert!(w.dequeue().is_none());
+        assert!(w.is_empty());
+        assert_eq!(w.flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn enqueue_validates_flow() {
+        let mut w = Wfq::new(&[1.0]);
+        w.enqueue(FlowId::new(5), Request::at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn len_tracks_both_flows() {
+        let mut w = Wfq::new(&[1.0, 1.0]);
+        w.enqueue(FlowId::new(0), request(0));
+        w.enqueue(FlowId::new(1), request(1));
+        w.enqueue(FlowId::new(1), request(2));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.flow_len(FlowId::new(1)), 2);
+        w.dequeue();
+        assert_eq!(w.len(), 2);
+    }
+}

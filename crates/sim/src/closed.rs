@@ -1,0 +1,328 @@
+//! Closed-loop simulation: a fixed population of clients with think time.
+//!
+//! The trace-driven engine in [`Simulation`](crate::Simulation) replays an
+//! *open* arrival stream — arrivals do not react to service. Real storage
+//! benchmarks (and many applications) are *closed*: each of `N` clients
+//! keeps one request outstanding, thinking for a while between completion
+//! and the next issue. Closed loops self-throttle — response times feed
+//! back into the arrival rate — which is exactly the behaviour open-loop
+//! QoS analysis must not assume it has (the paper's arrival streams are
+//! open; this driver exists to study the difference).
+
+use gqos_trace::{Request, RequestId, SimDuration, SimTime};
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::metrics::{CompletionRecord, RunReport};
+use crate::scheduler::{Dispatch, Scheduler, ServiceClass};
+use crate::server::{ServerId, ServiceModel};
+
+/// Configuration of a closed-loop run.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ClosedLoopConfig {
+    /// Number of clients, each with at most one request outstanding.
+    pub clients: usize,
+    /// Pause between a client's completion and its next issue.
+    pub think_time: SimDuration,
+    /// Clients stop issuing at this instant (outstanding requests finish).
+    pub duration: SimDuration,
+}
+
+impl ClosedLoopConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero or `duration` is zero.
+    pub fn new(clients: usize, think_time: SimDuration, duration: SimDuration) -> Self {
+        assert!(clients > 0, "at least one client is required");
+        assert!(!duration.is_zero(), "duration must be positive");
+        ClosedLoopConfig {
+            clients,
+            think_time,
+            duration,
+        }
+    }
+}
+
+/// Runs a closed loop: `factory(client, issue_time)` materialises each
+/// request (its `id` and `arrival` are overwritten by the driver).
+///
+/// # Panics
+///
+/// Panics if the scheduler requests a retry at a non-future instant
+/// (same contract as [`Simulation`](crate::Simulation)).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{closed_loop, ClosedLoopConfig, FcfsScheduler, FixedRateServer};
+/// use gqos_trace::{Iops, Request, SimDuration};
+///
+/// // 4 clients, 10 ms service, 90 ms think: each cycle is ~100 ms, so the
+/// // loop self-throttles to ~40 IOPS on a 100 IOPS server.
+/// let config = ClosedLoopConfig::new(
+///     4,
+///     SimDuration::from_millis(90),
+///     SimDuration::from_secs(10),
+/// );
+/// let report = closed_loop(
+///     config,
+///     FcfsScheduler::new(),
+///     FixedRateServer::new(Iops::new(100.0)),
+///     |_, t| Request::at(t),
+/// );
+/// let rate = report.completed() as f64 / 10.0;
+/// assert!((rate - 40.0).abs() < 5.0, "rate {rate}");
+/// ```
+pub fn closed_loop<S, M, F>(
+    config: ClosedLoopConfig,
+    mut scheduler: S,
+    model: M,
+    mut factory: F,
+) -> RunReport
+where
+    S: Scheduler,
+    M: ServiceModel + 'static,
+    F: FnMut(usize, SimTime) -> Request,
+{
+    let mut servers: Vec<Box<dyn ServiceModel>> = vec![Box::new(model)];
+    let mut queue = EventQueue::new();
+    let mut in_flight: Vec<Option<(Request, ServiceClass, SimTime)>> = vec![None];
+    let mut records: Vec<CompletionRecord> = Vec::new();
+    // Which client issued each request, indexed by request id.
+    let mut owners: Vec<usize> = Vec::new();
+    let mut issued = 0u64;
+    let mut end_time = SimTime::ZERO;
+    let horizon = SimTime::ZERO + config.duration;
+
+    for client in 0..config.clients {
+        queue.push(Event {
+            at: SimTime::ZERO,
+            kind: EventKind::Arrival { index: client },
+        });
+    }
+
+    while let Some(Event { at: now, kind }) = queue.pop() {
+        end_time = end_time.max(now);
+        match kind {
+            EventKind::Arrival { index: client } => {
+                if now >= horizon {
+                    continue; // this client retires
+                }
+                let request = factory(client, now)
+                    .with_id(RequestId::new(issued))
+                    .with_arrival(now);
+                owners.push(client);
+                issued += 1;
+                scheduler.on_arrival(request, now);
+                for server in 0..servers.len() {
+                    if in_flight[server].is_none() {
+                        poll(
+                            &mut scheduler,
+                            &mut servers,
+                            &mut in_flight,
+                            &mut queue,
+                            server,
+                            now,
+                        );
+                    }
+                }
+            }
+            EventKind::Completion { server } => {
+                let (request, class, dispatched) = in_flight[server]
+                    .take()
+                    .expect("completion event for idle server");
+                records.push(CompletionRecord {
+                    id: request.id,
+                    class,
+                    arrival: request.arrival,
+                    dispatched,
+                    completion: now,
+                });
+                scheduler.on_completion(&request, class, now);
+                // The owning client thinks, then issues again.
+                let client = owners[request.id.as_usize()];
+                queue.push(Event {
+                    at: now + config.think_time,
+                    kind: EventKind::Arrival { index: client },
+                });
+                poll(
+                    &mut scheduler,
+                    &mut servers,
+                    &mut in_flight,
+                    &mut queue,
+                    server,
+                    now,
+                );
+            }
+            EventKind::Retry { server } => {
+                if in_flight[server].is_none() {
+                    poll(
+                        &mut scheduler,
+                        &mut servers,
+                        &mut in_flight,
+                        &mut queue,
+                        server,
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    RunReport::new(records, issued as usize, end_time)
+}
+
+fn poll<S: Scheduler>(
+    scheduler: &mut S,
+    servers: &mut [Box<dyn ServiceModel>],
+    in_flight: &mut [Option<(Request, ServiceClass, SimTime)>],
+    queue: &mut EventQueue,
+    server: usize,
+    now: SimTime,
+) {
+    match scheduler.next_for(ServerId::new(server), now) {
+        Dispatch::Serve(request, class) => {
+            let service = servers[server]
+                .service_time(&request, now)
+                .max(SimDuration::from_nanos(1));
+            in_flight[server] = Some((request, class, now));
+            queue.push(Event {
+                at: now + service,
+                kind: EventKind::Completion { server },
+            });
+        }
+        Dispatch::After(when) => {
+            assert!(when > now, "retry at {when} is not after {now}");
+            queue.push(Event {
+                at: when,
+                kind: EventKind::Retry { server },
+            });
+        }
+        Dispatch::Idle => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FcfsScheduler;
+    use crate::server::FixedRateServer;
+    use gqos_trace::Iops;
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_client_alternates_service_and_think() {
+        // Service 10 ms + think 40 ms = 50 ms per cycle over 1 s -> 20 ops.
+        let report = closed_loop(
+            ClosedLoopConfig::new(1, dms(40), SimDuration::from_secs(1)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+            |_, t| Request::at(t),
+        );
+        assert_eq!(report.completed(), 20);
+        for r in report.records() {
+            assert_eq!(r.response_time(), dms(10));
+        }
+    }
+
+    #[test]
+    fn population_scales_offered_load_until_saturation() {
+        // Service 10 ms, zero think, one server: the device saturates at
+        // 100 IOPS no matter how many clients queue.
+        let few = closed_loop(
+            ClosedLoopConfig::new(1, SimDuration::ZERO, SimDuration::from_secs(2)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+            |_, t| Request::at(t),
+        );
+        let many = closed_loop(
+            ClosedLoopConfig::new(16, SimDuration::ZERO, SimDuration::from_secs(2)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+            |_, t| Request::at(t),
+        );
+        // Measure over the actual end time: the queued backlog drains past
+        // the issue horizon.
+        let rate = |r: &RunReport| r.completed() as f64 / r.end_time().as_secs_f64();
+        assert!((rate(&few) - 100.0).abs() < 5.0, "few {}", rate(&few));
+        assert!((rate(&many) - 100.0).abs() < 5.0, "many {}", rate(&many));
+        // But response times stretch with the queue depth (Little's law).
+        let rt_many = many.stats().mean().unwrap();
+        assert!((rt_many.as_millis_f64() - 160.0).abs() < 15.0, "{rt_many}");
+    }
+
+    #[test]
+    fn closed_loop_self_throttles_where_open_loop_overloads() {
+        // The defining difference: a closed population cannot overload the
+        // server — throughput caps at capacity and the backlog stays at the
+        // population size.
+        let report = closed_loop(
+            ClosedLoopConfig::new(8, SimDuration::ZERO, SimDuration::from_secs(1)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(50.0)),
+            |_, t| Request::at(t),
+        );
+        let max_rt = report.stats().max().unwrap();
+        // Worst case: wait behind 7 others + own service = 160 ms.
+        assert!(max_rt <= dms(161), "max {max_rt}");
+    }
+
+    #[test]
+    fn issues_stop_at_the_horizon_but_outstanding_work_completes() {
+        let report = closed_loop(
+            ClosedLoopConfig::new(4, dms(5), SimDuration::from_millis(100)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(50.0)), // 20 ms service
+            |_, t| Request::at(t),
+        );
+        assert_eq!(report.completed(), report.total_requests());
+        // No arrival at or past the horizon.
+        for r in report.records() {
+            assert!(r.arrival < SimTime::from_millis(100));
+        }
+        // The last outstanding request may finish after the horizon.
+        assert!(report.end_time() >= SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn factory_controls_request_contents() {
+        let report = closed_loop(
+            ClosedLoopConfig::new(2, dms(10), SimDuration::from_millis(200)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(1000.0)),
+            |client, t| {
+                Request::at(t).with_block(gqos_trace::LogicalBlock::new(client as u64))
+            },
+        );
+        assert!(report.completed() > 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            closed_loop(
+                ClosedLoopConfig::new(3, dms(7), SimDuration::from_secs(1)),
+                FcfsScheduler::new(),
+                FixedRateServer::new(Iops::new(333.0)),
+                |_, t| Request::at(t),
+            )
+        };
+        assert_eq!(run().records(), run().records());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let _ = ClosedLoopConfig::new(0, SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = ClosedLoopConfig::new(1, SimDuration::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gqos_trace::SimTime;
+
+/// What happens when an event fires.
+///
+/// Ordering at equal timestamps is significant and fixed: completions are
+/// processed before retries, and retries before arrivals, so that a request
+/// arriving exactly when the server frees up observes the freed queue slot
+/// (the convention the paper's queue-length argument assumes).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum EventKind {
+    /// A server finishes its in-flight request.
+    Completion {
+        /// Index of the completing server.
+        server: usize,
+    },
+    /// A server should re-poll its scheduler (used by non-work-conserving
+    /// schedulers that report a future eligibility time).
+    Retry {
+        /// Index of the server to poll.
+        server: usize,
+    },
+    /// The workload's next request arrives.
+    Arrival {
+        /// Index of the arriving request within the workload.
+        index: usize,
+    },
+}
+
+/// A scheduled event.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+/// A priority queue of events ordered by time, then by [`EventKind`], then
+/// by insertion order — fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{Event, EventKind, EventQueue};
+/// use gqos_trace::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Event { at: SimTime::from_secs(2), kind: EventKind::Arrival { index: 1 } });
+/// q.push(Event { at: SimTime::from_secs(1), kind: EventKind::Arrival { index: 0 } });
+/// assert_eq!(q.pop().unwrap().at, SimTime::from_secs(1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, EventKind, u64)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        self.heap.push(Reverse((event.at, event.kind, self.seq)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap
+            .pop()
+            .map(|Reverse((at, kind, _))| Event { at, kind })
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64, kind: EventKind) -> Event {
+        Event {
+            at: SimTime::from_secs(secs),
+            kind,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(3, EventKind::Arrival { index: 2 }));
+        q.push(at(1, EventKind::Arrival { index: 0 }));
+        q.push(at(2, EventKind::Arrival { index: 1 }));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
+        assert_eq!(
+            order,
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn completion_precedes_arrival_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(at(5, EventKind::Arrival { index: 0 }));
+        q.push(at(5, EventKind::Completion { server: 0 }));
+        q.push(at(5, EventKind::Retry { server: 0 }));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Completion { server: 0 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Retry { server: 0 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival { index: 0 });
+    }
+
+    #[test]
+    fn equal_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(at(1, EventKind::Arrival { index: 7 }));
+        q.push(at(1, EventKind::Arrival { index: 7 }));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(at(9, EventKind::Retry { server: 1 }));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn arrivals_at_same_instant_pop_by_index() {
+        let mut q = EventQueue::new();
+        q.push(at(1, EventKind::Arrival { index: 5 }));
+        q.push(at(1, EventKind::Arrival { index: 3 }));
+        match q.pop().unwrap().kind {
+            EventKind::Arrival { index } => assert_eq!(index, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A memory-light geometric latency histogram.
+//!
+//! [`ResponseStats`](crate::ResponseStats) keeps every sample; for very long
+//! runs (or on-line monitoring) [`LatencyHistogram`] records into
+//! geometrically-spaced buckets instead — constant memory, bounded relative
+//! quantile error.
+
+use std::fmt;
+
+use gqos_trace::SimDuration;
+
+/// Number of buckets per power of two (resolution ≈ 19% per bucket).
+const SUB_BUCKETS: u32 = 4;
+/// Smallest resolvable latency.
+const MIN_NANOS: u64 = 1_000; // 1 µs
+/// log2 range covered above `MIN_NANOS` (2^40 µs ≈ 12.7 days).
+const LOG_RANGE: u32 = 40;
+const BUCKETS: usize = (LOG_RANGE * SUB_BUCKETS) as usize + 2;
+
+/// Fixed-memory histogram of latencies with geometric buckets.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::LatencyHistogram;
+/// use gqos_trace::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=100 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// let median = h.quantile(0.5).unwrap();
+/// // Bucket resolution is ~19%, so the median is near 50 ms.
+/// assert!(median >= SimDuration::from_millis(40));
+/// assert!(median <= SimDuration::from_millis(70));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Bucket `0` covers `(0, MIN]`; bucket `i ≥ 1` covers
+    /// `(MIN·2^((i−1)/S), MIN·2^(i/S)]` where `S = SUB_BUCKETS`.
+    fn bucket_index(latency: SimDuration) -> usize {
+        let nanos = latency.as_nanos();
+        if nanos <= MIN_NANOS {
+            return 0;
+        }
+        let ratio = nanos as f64 / MIN_NANOS as f64;
+        let idx = (ratio.log2() * SUB_BUCKETS as f64).ceil() as usize;
+        idx.clamp(1, BUCKETS - 1)
+    }
+
+    /// Upper latency bound of bucket `idx`.
+    fn bucket_upper(idx: usize) -> SimDuration {
+        let exp = idx as f64 / SUB_BUCKETS as f64;
+        let nanos = (MIN_NANOS as f64 * exp.exp2()).round();
+        SimDuration::from_nanos(nanos.min(u64::MAX as f64) as u64)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.counts[Self::bucket_index(latency)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Fraction of samples at or below `bound` (upper-bucket-bound
+    /// semantics: a sample counts as within `bound` when its whole bucket
+    /// is).
+    pub fn fraction_within(&self, bound: SimDuration) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut within = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if Self::bucket_upper(i) <= bound {
+                within += c;
+            }
+        }
+        within as f64 / self.total as f64
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket where the
+    /// cumulative count crosses `q`. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_upper(i));
+            }
+        }
+        Some(Self::bucket_upper(BUCKETS - 1))
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("empty latency histogram");
+        }
+        write!(
+            f,
+            "{} samples, p50 ≤ {}, p99 ≤ {}",
+            self.total,
+            self.quantile(0.5).expect("non-empty"),
+            self.quantile(0.99).expect("non-empty"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.fraction_within(ms(100)), 0.0);
+        assert!(h.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic() {
+        let mut prev = SimDuration::ZERO;
+        for i in 0..BUCKETS {
+            let upper = LatencyHistogram::bucket_upper(i);
+            assert!(upper > prev, "bucket {i}: {upper} <= {prev}");
+            prev = upper;
+        }
+    }
+
+    #[test]
+    fn recorded_sample_falls_below_its_bucket_upper() {
+        for nanos in [1u64, 999, 1_000, 1_500, 10_000, 123_456_789, 5_000_000_000] {
+            let d = SimDuration::from_nanos(nanos);
+            let idx = LatencyHistogram::bucket_index(d);
+            assert!(
+                LatencyHistogram::bucket_upper(idx) >= d,
+                "sample {nanos}ns above bucket upper"
+            );
+            if idx > 0 {
+                assert!(
+                    LatencyHistogram::bucket_upper(idx - 1) <= d,
+                    "sample {nanos}ns below previous bucket upper"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let q = h.quantile(0.5).unwrap().as_nanos() as f64;
+        let exact = SimDuration::from_micros(5_000).as_nanos() as f64;
+        assert!((q / exact - 1.0).abs() < 0.3, "q {q}, exact {exact}");
+    }
+
+    #[test]
+    fn fraction_within_approximates_cdf() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_millis(i));
+        }
+        let f = h.fraction_within(ms(500));
+        assert!((f - 0.5).abs() < 0.1, "fraction {f}");
+        assert_eq!(h.fraction_within(SimDuration::from_secs(3600)), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(ms(1));
+        b.record(ms(100));
+        b.record(ms(100));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn tiny_and_huge_samples_are_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::MAX);
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(0.0).unwrap() <= SimDuration::from_micros(1));
+        assert!(h.quantile(1.0).unwrap() >= SimDuration::from_secs(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_validates() {
+        let h = LatencyHistogram::new();
+        let _ = h.quantile(2.0);
+    }
+}

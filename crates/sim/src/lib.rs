@@ -1,0 +1,56 @@
+//! # gqos-sim — deterministic storage-server simulation
+//!
+//! The discrete-event substrate of the `gqos` workspace (the stand-in for
+//! the DiskSim-based evaluation in the ICDCS 2009 paper). It provides:
+//!
+//! - [`Simulation`] / [`simulate`] — an event-driven engine feeding a
+//!   [`Workload`](gqos_trace::Workload) to a [`Scheduler`] over one or more
+//!   servers;
+//! - [`ServiceModel`] — pluggable service-time models, with the paper's
+//!   constant-capacity [`FixedRateServer`] built in (the mechanical disk
+//!   model lives in `gqos-disk`);
+//! - [`RunReport`] / [`ResponseStats`] — per-request latency records,
+//!   response-time CDFs, percentiles, and the paper's bucketed histograms;
+//! - [`LatencyHistogram`] — a constant-memory alternative recorder;
+//! - [`FcfsScheduler`] — the unshaped baseline policy;
+//! - [`closed_loop`] — a closed, think-time-driven population driver
+//!   (the self-throttling counterpart of the open trace replay).
+//!
+//! Simulations are fully deterministic: ties in event time are broken by a
+//! fixed event-kind order (completions before arrivals) and insertion order.
+//!
+//! # Examples
+//!
+//! A burst of ten requests against a server provisioned at the mean rate —
+//! the queue builds and response times degrade linearly:
+//!
+//! ```
+//! use gqos_sim::{simulate, FcfsScheduler, FixedRateServer};
+//! use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+//!
+//! let burst = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+//! let report = simulate(&burst, FcfsScheduler::new(),
+//!     FixedRateServer::new(Iops::new(100.0)));
+//! let stats = report.stats();
+//! assert_eq!(stats.max(), Some(SimDuration::from_millis(100)));
+//! assert_eq!(stats.fraction_within(SimDuration::from_millis(50)), 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod closed;
+mod engine;
+mod event;
+mod histogram;
+mod metrics;
+mod scheduler;
+mod server;
+
+pub use closed::{closed_loop, ClosedLoopConfig};
+pub use engine::{simulate, Simulation};
+pub use event::{Event, EventKind, EventQueue};
+pub use histogram::LatencyHistogram;
+pub use metrics::{CompletionRecord, ResponseStats, RunReport};
+pub use scheduler::{Dispatch, FcfsScheduler, Scheduler, ServiceClass};
+pub use server::{FixedRateServer, ServerId, ServiceModel};

@@ -1,0 +1,135 @@
+//! Service models: how long a server takes to serve one request.
+
+use std::fmt;
+
+use gqos_trace::{Iops, Request, SimDuration, SimTime};
+
+/// Identifier of a server within one simulation.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default, Debug)]
+pub struct ServerId(usize);
+
+impl ServerId {
+    /// Creates a server id from its index.
+    pub const fn new(index: usize) -> Self {
+        ServerId(index)
+    }
+
+    /// The server's index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server{}", self.0)
+    }
+}
+
+/// Computes the service time of each dispatched request.
+///
+/// Implementations may keep state (e.g. a disk head position), which is why
+/// [`service_time`] takes `&mut self`.
+///
+/// [`service_time`]: ServiceModel::service_time
+pub trait ServiceModel {
+    /// Time to serve `request` when dispatched at `now`.
+    fn service_time(&mut self, request: &Request, now: SimTime) -> SimDuration;
+
+    /// The model's nominal throughput in IOPS, if it has one. Used for
+    /// reporting only.
+    fn nominal_rate(&self) -> Option<Iops> {
+        None
+    }
+}
+
+impl<M: ServiceModel + ?Sized> ServiceModel for Box<M> {
+    fn service_time(&mut self, request: &Request, now: SimTime) -> SimDuration {
+        (**self).service_time(request, now)
+    }
+
+    fn nominal_rate(&self) -> Option<Iops> {
+        (**self).nominal_rate()
+    }
+}
+
+/// The paper's service model: a server of constant capacity `C` IOPS, i.e.
+/// a deterministic service time of `1/C` per request.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{FixedRateServer, ServiceModel};
+/// use gqos_trace::{Iops, Request, SimDuration, SimTime};
+///
+/// let mut server = FixedRateServer::new(Iops::new(1000.0));
+/// let r = Request::at(SimTime::ZERO);
+/// assert_eq!(server.service_time(&r, SimTime::ZERO), SimDuration::from_millis(1));
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FixedRateServer {
+    rate: Iops,
+    per_request: SimDuration,
+}
+
+impl FixedRateServer {
+    /// Creates a server of the given capacity.
+    pub fn new(rate: Iops) -> Self {
+        FixedRateServer {
+            rate,
+            per_request: rate.service_time(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn rate(&self) -> Iops {
+        self.rate
+    }
+}
+
+impl ServiceModel for FixedRateServer {
+    fn service_time(&mut self, _request: &Request, _now: SimTime) -> SimDuration {
+        self.per_request
+    }
+
+    fn nominal_rate(&self) -> Option<Iops> {
+        Some(self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_round_trips() {
+        let id = ServerId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "server3");
+    }
+
+    #[test]
+    fn fixed_rate_is_deterministic() {
+        let mut s = FixedRateServer::new(Iops::new(250.0));
+        let r = Request::at(SimTime::ZERO);
+        let t1 = s.service_time(&r, SimTime::ZERO);
+        let t2 = s.service_time(&r, SimTime::from_secs(100));
+        assert_eq!(t1, t2);
+        assert_eq!(t1, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn nominal_rate_reported() {
+        let s = FixedRateServer::new(Iops::new(100.0));
+        assert_eq!(s.nominal_rate().unwrap().get(), 100.0);
+        assert_eq!(s.rate().get(), 100.0);
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let mut s: Box<dyn ServiceModel> = Box::new(FixedRateServer::new(Iops::new(500.0)));
+        let r = Request::at(SimTime::ZERO);
+        assert_eq!(s.service_time(&r, SimTime::ZERO), SimDuration::from_millis(2));
+        assert!(s.nominal_rate().is_some());
+    }
+}

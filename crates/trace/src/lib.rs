@@ -1,0 +1,57 @@
+//! # gqos-trace — storage workload modelling for graduated QoS
+//!
+//! Foundation crate of the `gqos` workspace, a from-scratch reproduction of
+//! *"Graduated QoS by Decomposing Bursts: Don't Let the Tail Wag Your
+//! Server"* (Lu, Varman, Doshi — ICDCS 2009).
+//!
+//! This crate provides everything the QoS scheduling layers need to describe
+//! and analyse arrival streams:
+//!
+//! - [`Workload`] — an arrival-ordered request stream with the merge / shift
+//!   / window algebra used by the consolidation experiments;
+//! - [`ArrivalCurve`] and [`ServiceAnalysis`] — the paper's analytical model
+//!   (cumulative arrival curve, service-curve limit, Lemma 1 lower bound on
+//!   forced deadline misses);
+//! - [`RateSeries`] and [`stats`] — windowed rates and burstiness metrics;
+//! - [`envelope`] — token-bucket `(σ, ρ)` arrival-curve envelopes;
+//! - [`gen`] — deterministic synthetic generators (Poisson, ON/OFF, MMPP,
+//!   paced, b-model) and [`gen::profiles`] calibrated to the paper's traces;
+//! - [`spc`] — SPC-format trace I/O so real repository traces drop in.
+//!
+//! # Examples
+//!
+//! Generate a bursty workload and quantify how unbalanced it is:
+//!
+//! ```
+//! use gqos_trace::gen::profiles::TraceProfile;
+//! use gqos_trace::{BurstStats, RateSeries, SimDuration};
+//!
+//! let workload = TraceProfile::OpenMail.generate(SimDuration::from_secs(60), 42);
+//! let series = RateSeries::new(&workload, SimDuration::from_millis(100));
+//! let stats = BurstStats::new(&series);
+//! assert!(stats.peak_to_mean() > 2.0); // bursts dwarf the average rate
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod curve;
+pub mod envelope;
+pub mod gen;
+mod request;
+pub mod spc;
+pub mod stats;
+mod summary;
+mod time;
+mod window;
+mod workload;
+
+pub use curve::{ArrivalCurve, BusyPeriod, ServiceAnalysis};
+pub use request::{
+    LogicalBlock, Request, RequestId, RequestKind, DEFAULT_REQUEST_BYTES,
+};
+pub use stats::{BurstEpisode, BurstStats};
+pub use summary::TraceSummary;
+pub use time::{Iops, SimDuration, SimTime};
+pub use window::RateSeries;
+pub use workload::{ArrivalCounts, Workload, WorkloadBuilder};

@@ -1,0 +1,271 @@
+//! SPC-format trace I/O.
+//!
+//! The UMass Trace Repository distributes the WebSearch and FinTrans traces
+//! in the Storage Performance Council format: one CSV record per request,
+//!
+//! ```text
+//! ASU,LBA,Size,Opcode,Timestamp
+//! 0,47126,8192,R,0.011413
+//! ```
+//!
+//! where `ASU` is the application storage unit, `LBA` the logical block
+//! address, `Size` the transfer size in bytes, `Opcode` `R`/`W` (case
+//! insensitive), and `Timestamp` the arrival time in seconds. This module
+//! reads and writes that format so the paper's original traces can be used
+//! verbatim in place of the synthetic profiles.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::request::{LogicalBlock, Request, RequestKind};
+use crate::time::SimTime;
+use crate::workload::Workload;
+
+/// An error produced while parsing an SPC trace.
+#[derive(Debug)]
+pub enum ParseSpcError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed record, with its 1-based line number and a description.
+    Malformed {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with the record.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseSpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpcError::Io(e) => write!(f, "i/o error reading SPC trace: {e}"),
+            ParseSpcError::Malformed { line, reason } => {
+                write!(f, "malformed SPC record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ParseSpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseSpcError::Io(e) => Some(e),
+            ParseSpcError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseSpcError {
+    fn from(e: io::Error) -> Self {
+        ParseSpcError::Io(e)
+    }
+}
+
+/// Reads an SPC-format trace into a [`Workload`].
+///
+/// A `&mut` reference may be passed for `reader`. Blank lines and lines
+/// beginning with `#` are skipped. Records with more than five fields keep
+/// only the first five (some repository variants append extras).
+///
+/// # Errors
+///
+/// Returns [`ParseSpcError`] on I/O failure or the first malformed record.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_trace::spc;
+///
+/// let trace = "0,47126,8192,R,0.011413\n0,47134,8192,W,0.024\n";
+/// let w = spc::read_trace(trace.as_bytes())?;
+/// assert_eq!(w.len(), 2);
+/// # Ok::<(), gqos_trace::spc::ParseSpcError>(())
+/// ```
+pub fn read_trace<R: Read>(reader: R) -> Result<Workload, ParseSpcError> {
+    let buf = BufReader::new(reader);
+    let mut requests = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        requests.push(parse_record(trimmed, line_no)?);
+    }
+    Ok(Workload::from_requests(requests))
+}
+
+fn parse_record(record: &str, line: usize) -> Result<Request, ParseSpcError> {
+    let malformed = |reason: String| ParseSpcError::Malformed { line, reason };
+    let mut fields = record.split(',');
+    let mut next_field = |name: &str| {
+        fields
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| malformed(format!("missing field `{name}`")))
+    };
+
+    let _asu = next_field("asu")?;
+    let lba: u64 = next_field("lba")?
+        .parse()
+        .map_err(|e| malformed(format!("bad LBA: {e}")))?;
+    let size: u32 = next_field("size")?
+        .parse()
+        .map_err(|e| malformed(format!("bad size: {e}")))?;
+    let opcode = next_field("opcode")?;
+    let kind = match opcode {
+        "R" | "r" => RequestKind::Read,
+        "W" | "w" => RequestKind::Write,
+        other => return Err(malformed(format!("bad opcode `{other}`"))),
+    };
+    let ts: f64 = next_field("timestamp")?
+        .parse()
+        .map_err(|e| malformed(format!("bad timestamp: {e}")))?;
+    if !ts.is_finite() || ts < 0.0 {
+        return Err(malformed(format!("negative or non-finite timestamp {ts}")));
+    }
+
+    Ok(Request::at(SimTime::from_secs_f64(ts))
+        .with_block(LogicalBlock::new(lba))
+        .with_bytes(size)
+        .with_kind(kind))
+}
+
+/// Writes `workload` in SPC format. All requests are emitted under ASU 0.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_trace::{spc, SimTime, Workload};
+///
+/// let w = Workload::from_arrivals([SimTime::from_millis(5)]);
+/// let mut out = Vec::new();
+/// spc::write_trace(&w, &mut out)?;
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("0,"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace<W: Write>(workload: &Workload, mut writer: W) -> io::Result<()> {
+    for r in workload.iter() {
+        let op = match r.kind {
+            RequestKind::Read => 'R',
+            RequestKind::Write => 'W',
+        };
+        writeln!(
+            writer,
+            "0,{},{},{},{:.6}",
+            r.block.get(),
+            r.bytes,
+            op,
+            r.arrival.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn parses_canonical_records() {
+        let trace = "0,47126,8192,R,0.011413\n1,100,4096,w,1.5\n";
+        let w = read_trace(trace.as_bytes()).expect("valid trace");
+        assert_eq!(w.len(), 2);
+        let r0 = &w.requests()[0];
+        assert_eq!(r0.block, LogicalBlock::new(47126));
+        assert_eq!(r0.bytes, 8192);
+        assert_eq!(r0.kind, RequestKind::Read);
+        assert_eq!(r0.arrival, SimTime::from_secs_f64(0.011413));
+        assert_eq!(w.requests()[1].kind, RequestKind::Write);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        let trace = "# header comment\n\n0,1,512,R,0.0\n   \n0,2,512,R,1.0\n";
+        let w = read_trace(trace.as_bytes()).expect("valid trace");
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn tolerates_extra_fields_and_whitespace() {
+        let trace = "0, 10, 8192 , R , 2.0, extra, fields\n";
+        let w = read_trace(trace.as_bytes()).expect("valid trace");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.requests()[0].arrival, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn sorts_out_of_order_timestamps() {
+        let trace = "0,1,512,R,5.0\n0,2,512,R,1.0\n";
+        let w = read_trace(trace.as_bytes()).expect("valid trace");
+        assert_eq!(w.first_arrival(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn rejects_bad_opcode_with_line_number() {
+        let trace = "0,1,512,R,0.0\n0,1,512,X,1.0\n";
+        let err = read_trace(trace.as_bytes()).unwrap_err();
+        match err {
+            ParseSpcError::Malformed { line, ref reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("opcode"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let err = read_trace("0,1,512\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn rejects_negative_timestamp() {
+        let err = read_trace("0,1,512,R,-3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("timestamp"));
+    }
+
+    #[test]
+    fn rejects_unparsable_numbers() {
+        assert!(read_trace("0,abc,512,R,0\n".as_bytes()).is_err());
+        assert!(read_trace("0,1,xyz,R,0\n".as_bytes()).is_err());
+        assert!(read_trace("0,1,512,R,zzz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_workload() {
+        let original = read_trace("0,5,4096,W,0.25\n0,9,8192,R,1.75\n".as_bytes()).unwrap();
+        let mut bytes = Vec::new();
+        write_trace(&original, &mut bytes).unwrap();
+        let reparsed = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn empty_input_is_empty_workload() {
+        let w = read_trace("".as_bytes()).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(w.span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn error_source_chain() {
+        let err = read_trace("0,1,512,R,bad\n".as_bytes()).unwrap_err();
+        assert!(err.source().is_none());
+        let io_err = ParseSpcError::from(io::Error::other("boom"));
+        assert!(io_err.source().is_some());
+    }
+}

@@ -1,0 +1,247 @@
+//! Time-windowed request-rate series.
+//!
+//! The paper visualises workloads as aggregated request counts in 100 ms
+//! windows (Figure 2). [`RateSeries`] produces exactly that view and backs
+//! the burstiness statistics in [`crate::stats`].
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+use crate::workload::Workload;
+
+/// Request counts aggregated into fixed-width, contiguous time windows.
+///
+/// Window `i` covers `[origin + i·w, origin + (i+1)·w)`.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_trace::{RateSeries, SimDuration, SimTime, Workload};
+///
+/// let w = Workload::from_arrivals([
+///     SimTime::from_millis(10),
+///     SimTime::from_millis(20),
+///     SimTime::from_millis(150),
+/// ]);
+/// let series = RateSeries::new(&w, SimDuration::from_millis(100));
+/// assert_eq!(series.counts(), &[2, 1]);
+/// assert_eq!(series.peak_iops(), 20.0); // 2 requests / 100 ms
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct RateSeries {
+    origin: SimTime,
+    window: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl RateSeries {
+    /// Aggregates `workload` into windows of width `window`, starting at the
+    /// first arrival (or time zero for an empty workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(workload: &Workload, window: SimDuration) -> Self {
+        RateSeries::with_origin(
+            workload,
+            window,
+            workload.first_arrival().unwrap_or(SimTime::ZERO),
+        )
+    }
+
+    /// Aggregates `workload` into windows of width `window`, anchored at
+    /// `origin`. Requests arriving before `origin` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_origin(workload: &Workload, window: SimDuration, origin: SimTime) -> Self {
+        assert!(!window.is_zero(), "window width must be positive");
+        let mut counts = Vec::new();
+        for r in workload.iter() {
+            if r.arrival < origin {
+                continue;
+            }
+            let idx = ((r.arrival - origin) / window) as usize;
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        RateSeries {
+            origin,
+            window,
+            counts,
+        }
+    }
+
+    /// The anchor instant of window 0.
+    pub fn origin(&self) -> SimTime {
+        self.origin
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Per-window request counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of windows (including empty interior windows).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if no window exists.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Start instant of window `i`.
+    pub fn window_start(&self, i: usize) -> SimTime {
+        self.origin + self.window * i as u64
+    }
+
+    /// Rate of window `i` in IOPS.
+    pub fn iops_at(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / self.window.as_secs_f64()
+    }
+
+    /// Iterates over `(window start, IOPS)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let secs = self.window.as_secs_f64();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &n)| (self.window_start(i), n as f64 / secs))
+    }
+
+    /// The maximum window rate in IOPS (zero for an empty series).
+    pub fn peak_iops(&self) -> f64 {
+        self.counts
+            .iter()
+            .copied()
+            .max()
+            .map_or(0.0, |n| n as f64 / self.window.as_secs_f64())
+    }
+
+    /// The mean window rate in IOPS (zero for an empty series).
+    pub fn mean_iops(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.counts.iter().sum();
+        total as f64 / (self.counts.len() as f64 * self.window.as_secs_f64())
+    }
+
+    /// Total requests across all windows.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl fmt::Display for RateSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} windows of {} (mean {:.1} IOPS, peak {:.1} IOPS)",
+            self.len(),
+            self.window,
+            self.mean_iops(),
+            self.peak_iops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn windows_partition_the_timeline() {
+        let w = Workload::from_arrivals([ms(0), ms(99), ms(100), ms(250)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        assert_eq!(s.counts(), &[2, 1, 1]);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn interior_gaps_are_zero_windows() {
+        let w = Workload::from_arrivals([ms(0), ms(500)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        assert_eq!(s.counts(), &[1, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn origin_anchors_window_zero() {
+        let w = Workload::from_arrivals([ms(150), ms(250)]);
+        let s = RateSeries::with_origin(&w, SimDuration::from_millis(100), ms(100));
+        assert_eq!(s.counts(), &[1, 1]);
+        assert_eq!(s.origin(), ms(100));
+        assert_eq!(s.window_start(1), ms(200));
+    }
+
+    #[test]
+    fn pre_origin_requests_are_ignored() {
+        let w = Workload::from_arrivals([ms(0), ms(150)]);
+        let s = RateSeries::with_origin(&w, SimDuration::from_millis(100), ms(100));
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn rates_scale_by_window_width() {
+        let w = Workload::from_arrivals([ms(0), ms(10), ms(20)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        assert_eq!(s.iops_at(0), 30.0);
+        assert_eq!(s.peak_iops(), 30.0);
+        assert_eq!(s.mean_iops(), 30.0);
+    }
+
+    #[test]
+    fn mean_counts_empty_windows() {
+        let w = Workload::from_arrivals([ms(0), ms(199)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        // 2 requests over 2 windows of 100 ms = 10 IOPS mean, 10 IOPS peak.
+        assert_eq!(s.mean_iops(), 10.0);
+        assert_eq!(s.peak_iops(), 10.0);
+    }
+
+    #[test]
+    fn iter_yields_starts_and_rates() {
+        let w = Workload::from_arrivals([ms(0), ms(100)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], (ms(0), 10.0));
+        assert_eq!(v[1], (ms(100), 10.0));
+    }
+
+    #[test]
+    fn empty_workload_series() {
+        let s = RateSeries::new(&Workload::new(), SimDuration::from_millis(100));
+        assert!(s.is_empty());
+        assert_eq!(s.peak_iops(), 0.0);
+        assert_eq!(s.mean_iops(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_rejected() {
+        let _ = RateSeries::new(&Workload::new(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let w = Workload::from_arrivals([ms(0)]);
+        let s = RateSeries::new(&w, SimDuration::from_millis(100));
+        assert!(s.to_string().contains("windows"));
+    }
+}

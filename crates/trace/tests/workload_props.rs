@@ -1,0 +1,132 @@
+//! Property-based tests of the workload algebra and trace I/O.
+
+use proptest::prelude::*;
+
+use gqos_trace::{
+    spc, LogicalBlock, Request, RequestKind, ServiceAnalysis, SimDuration, SimTime, Workload,
+};
+
+prop_compose! {
+    fn arb_request()(
+        millis in 0u64..100_000,
+        lba in 0u64..1_000_000,
+        bytes in 512u32..65_536,
+        is_read in any::<bool>(),
+    ) -> Request {
+        Request::at(SimTime::from_millis(millis))
+            .with_block(LogicalBlock::new(lba))
+            .with_bytes(bytes)
+            .with_kind(if is_read { RequestKind::Read } else { RequestKind::Write })
+    }
+}
+
+fn arb_workload(max: usize) -> impl Strategy<Value = Workload> {
+    prop::collection::vec(arb_request(), 0..max).prop_map(Workload::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn workload_is_always_sorted_with_dense_ids(w in arb_workload(64)) {
+        for (i, r) in w.iter().enumerate() {
+            prop_assert_eq!(r.id.as_usize(), i);
+        }
+        prop_assert!(w.requests().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_multisets(a in arb_workload(32), b in arb_workload(32)) {
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        let times = |w: &Workload| w.iter().map(|r| r.arrival).collect::<Vec<_>>();
+        prop_assert_eq!(times(&ab), times(&ba));
+    }
+
+    #[test]
+    fn shift_then_window_recovers_everything(
+        w in arb_workload(48),
+        shift_ms in 0u64..50_000,
+    ) {
+        let shift = SimDuration::from_millis(shift_ms);
+        let s = w.shifted(shift);
+        prop_assert_eq!(s.len(), w.len());
+        // Windowing the full shifted range returns every request.
+        if let (Some(first), Some(last)) = (s.first_arrival(), s.last_arrival()) {
+            let all = s.window(first, last + SimDuration::from_nanos(1));
+            prop_assert_eq!(all.len(), s.len());
+        }
+        // Pairwise gaps are preserved.
+        for (x, y) in w.iter().zip(s.iter()) {
+            prop_assert_eq!(y.arrival, x.arrival + shift);
+        }
+    }
+
+    #[test]
+    fn truncate_window_counts_are_consistent(w in arb_workload(48), n in 0usize..64) {
+        let t = w.truncated(n);
+        prop_assert_eq!(t.len(), n.min(w.len()));
+        // arrivals_by at the last arrival covers the whole workload.
+        if let Some(last) = w.last_arrival() {
+            prop_assert_eq!(w.arrivals_by(last), w.len() as u64);
+        }
+    }
+
+    #[test]
+    fn spc_round_trip_is_lossless_at_microsecond_granularity(
+        reqs in prop::collection::vec(arb_request(), 0..48),
+    ) {
+        // SPC text carries 6 decimal places of seconds: quantise arrivals
+        // to whole microseconds so the round trip is exact.
+        let w = Workload::from_requests(reqs.into_iter().map(|r| Request {
+            arrival: SimTime::from_micros(r.arrival.as_nanos() / 1_000),
+            ..r
+        }));
+        let mut bytes = Vec::new();
+        spc::write_trace(&w, &mut bytes).expect("serialise");
+        let back = spc::read_trace(bytes.as_slice()).expect("parse");
+        prop_assert_eq!(w, back);
+    }
+
+    #[test]
+    fn busy_periods_are_ordered_and_disjoint(
+        w in arb_workload(48),
+        cap in 10u64..1000,
+        delta_ms in 1u64..100,
+    ) {
+        let analysis = ServiceAnalysis::new(
+            &w,
+            gqos_trace::Iops::new(cap as f64),
+            SimDuration::from_millis(delta_ms),
+        );
+        let periods = analysis.busy_periods();
+        for p in periods {
+            prop_assert!(p.end >= p.start);
+        }
+        for pair in periods.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start, "periods overlap");
+        }
+        let covered: u64 = periods.iter().map(|p| p.arrivals).sum();
+        prop_assert_eq!(covered, w.len() as u64);
+        // A feasible analysis reports no overload instants.
+        if analysis.is_feasible() {
+            prop_assert!(analysis.overload_instants().is_empty());
+        } else {
+            prop_assert!(!analysis.overload_instants().is_empty());
+        }
+    }
+
+    #[test]
+    fn thinning_is_a_subset_preserving_order(w in arb_workload(64), seed in any::<u64>()) {
+        let t = w.thinned(0.5, seed);
+        prop_assert!(t.len() <= w.len());
+        // Every kept arrival exists in the original multiset.
+        let mut orig: Vec<SimTime> = w.iter().map(|r| r.arrival).collect();
+        for r in t.iter() {
+            let pos = orig.iter().position(|&a| a == r.arrival);
+            prop_assert!(pos.is_some());
+            orig.remove(pos.expect("checked"));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Open versus closed arrivals: why the paper's problem is an *open-loop*
+//! problem.
+//!
+//! A closed population self-throttles — slow responses delay the next
+//! issue — so it can never build the unbounded backlog that makes bursts
+//! dangerous. Open (trace-driven) arrivals keep coming regardless, which
+//! is exactly the regime where decomposition earns its capacity savings.
+//! This example runs the same offered load both ways.
+//!
+//! Run with: `cargo run --release --example closed_loop`
+
+use gqos::sim::{closed_loop, simulate, ClosedLoopConfig, FcfsScheduler, FixedRateServer};
+use gqos::{Iops, Request, SimDuration, SimTime, Workload};
+
+fn main() {
+    let capacity = Iops::new(100.0); // 10 ms per request
+    let duration = SimDuration::from_secs(30);
+
+    // Closed: 8 clients, 70 ms think -> ~100 IOPS offered at equilibrium,
+    // but arrivals back off whenever the server falls behind.
+    let closed = closed_loop(
+        ClosedLoopConfig::new(8, SimDuration::from_millis(70), duration),
+        FcfsScheduler::new(),
+        FixedRateServer::new(capacity),
+        |_, t| Request::at(t),
+    );
+
+    // Open: the same ~100 IOPS average, but as a fixed trace with a burst
+    // in the middle. The server cannot push back.
+    let mut arrivals: Vec<SimTime> =
+        (0..2400).map(|i| SimTime::from_micros(i * 12_500)).collect(); // 80/s
+    arrivals.extend(vec![SimTime::from_secs(15); 600]); // the burst
+    let open_workload = Workload::from_arrivals(arrivals);
+    let open = simulate(
+        &open_workload,
+        FcfsScheduler::new(),
+        FixedRateServer::new(capacity),
+    );
+
+    let p99 = |r: &gqos::sim::RunReport| r.stats().percentile(0.99).as_millis_f64();
+    let mx = |r: &gqos::sim::RunReport| r.stats().max().unwrap().as_millis_f64();
+    println!("server: 100 IOPS; both runs offer ~100 IOPS on average\n");
+    println!(
+        "closed loop:  {:>6} served, p99 {:>8.1} ms, max {:>8.1} ms",
+        closed.completed(),
+        p99(&closed),
+        mx(&closed)
+    );
+    println!(
+        "open arrivals:{:>6} served, p99 {:>8.1} ms, max {:>8.1} ms",
+        open.completed(),
+        p99(&open),
+        mx(&open)
+    );
+    println!(
+        "\nThe closed population's worst case is bounded by its size (8 x 10 ms);\n\
+         the open burst builds a 600-deep backlog and the tail explodes —\n\
+         the regime the paper's decomposition framework exists for."
+    );
+}

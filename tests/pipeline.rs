@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests: profile generation → capacity planning →
+//! decomposition → recombination, asserting the paper's qualitative claims
+//! across crate boundaries.
+
+use gqos::sim::ServiceClass;
+use gqos::trace::gen::profiles::TraceProfile;
+use gqos::{
+    decompose, CapacityPlanner, QosTarget, RecombinePolicy, SimDuration, WorkloadShaper,
+};
+
+const SPAN: SimDuration = SimDuration::from_secs(120);
+
+#[test]
+fn planned_capacity_guarantees_the_fraction_for_every_profile() {
+    let deadline = SimDuration::from_millis(10);
+    for profile in TraceProfile::ALL {
+        let w = profile.generate(SPAN, 21);
+        let planner = CapacityPlanner::new(&w, deadline);
+        for f in [0.9, 0.95, 0.99, 1.0] {
+            let c = planner.min_capacity(f);
+            let d = decompose(&w, c, deadline);
+            assert!(
+                d.primary_fraction() >= f,
+                "{profile}: planned {c} achieves only {:.4} < {f}",
+                d.primary_fraction()
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_knee_exists_for_every_profile() {
+    // Section 4.1: going from 90% to 100% costs several times the capacity.
+    let deadline = SimDuration::from_millis(10);
+    for profile in TraceProfile::ALL {
+        let w = profile.generate(SPAN, 3);
+        let planner = CapacityPlanner::new(&w, deadline);
+        let c90 = planner.min_capacity(0.90).get();
+        let c100 = planner.min_capacity(1.0).get();
+        assert!(
+            c100 >= 2.0 * c90,
+            "{profile}: no knee (C90 {c90}, C100 {c100})"
+        );
+    }
+}
+
+#[test]
+fn shaped_policies_meet_the_target_where_fcfs_fails() {
+    // Section 4.3: at equal total capacity, Split and FairQueue meet the
+    // decomposed target, Miser is within a whisker, FCFS falls far short.
+    let w = TraceProfile::WebSearch.generate(SPAN, 7);
+    let target = QosTarget::new(0.90, SimDuration::from_millis(50));
+    let shaper = WorkloadShaper::plan(&w, target);
+    let deadline = target.deadline();
+
+    let fraction = |policy| {
+        shaper
+            .run(&w, policy)
+            .stats()
+            .fraction_within(deadline)
+    };
+    let fcfs = fraction(RecombinePolicy::Fcfs);
+    let split = fraction(RecombinePolicy::Split);
+    let fq = fraction(RecombinePolicy::FairQueue);
+    let miser = fraction(RecombinePolicy::Miser);
+
+    assert!(split >= 0.90, "Split met only {split:.3}");
+    assert!(fq >= 0.90, "FairQueue met only {fq:.3}");
+    assert!(miser >= 0.87, "Miser met only {miser:.3}");
+    assert!(
+        fcfs < split - 0.10,
+        "FCFS ({fcfs:.3}) unexpectedly close to Split ({split:.3})"
+    );
+}
+
+#[test]
+fn overflow_class_ordering_matches_figure6c() {
+    // Split's dedicated overflow server is the slowest home for the tail;
+    // Miser's slack-stealing at least matches FairQueue's reserved share.
+    // Both are ensemble claims (Figure 6c): average over realizations.
+    let mut split_sum = 0.0;
+    let mut fq_sum = 0.0;
+    let mut miser_sum = 0.0;
+    // Longer span: Miser's advantage comes from slack in the calm majority
+    // of the trace, which short spans under-sample.
+    let span = SimDuration::from_secs(400);
+    const SEEDS: [u64; 3] = [41, 42, 43];
+    for seed in SEEDS {
+        let w = TraceProfile::WebSearch.generate(span, seed);
+        let target = QosTarget::new(0.90, SimDuration::from_millis(50));
+        let shaper = WorkloadShaper::plan(&w, target);
+        let overflow_mean = |policy| {
+            shaper
+                .run(&w, policy)
+                .stats_for(ServiceClass::OVERFLOW)
+                .mean()
+                .expect("overflow class is non-empty at 90%")
+                .as_secs_f64()
+        };
+        split_sum += overflow_mean(RecombinePolicy::Split);
+        fq_sum += overflow_mean(RecombinePolicy::FairQueue);
+        miser_sum += overflow_mean(RecombinePolicy::Miser);
+    }
+
+    assert!(
+        split_sum > fq_sum,
+        "Split overflow ({split_sum:.3}s) should be slower than FairQueue ({fq_sum:.3}s)"
+    );
+    assert!(
+        miser_sum <= fq_sum * 1.15,
+        "Miser overflow ({miser_sum:.3}s) should roughly match FairQueue ({fq_sum:.3}s)"
+    );
+}
+
+#[test]
+fn all_policies_complete_every_request() {
+    let w = TraceProfile::FinTrans.generate(SPAN, 5);
+    let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.95, SimDuration::from_millis(20)));
+    for (policy, report) in shaper.run_all(&w) {
+        assert_eq!(
+            report.completed(),
+            w.len(),
+            "{policy} left requests unfinished"
+        );
+    }
+}
+
+#[test]
+fn tighter_deadlines_and_fractions_cost_more() {
+    let w = TraceProfile::OpenMail.generate(SPAN, 13);
+    let c_tight = CapacityPlanner::new(&w, SimDuration::from_millis(5)).min_capacity(0.99);
+    let c_loose = CapacityPlanner::new(&w, SimDuration::from_millis(50)).min_capacity(0.99);
+    assert!(c_tight.get() >= c_loose.get());
+
+    let planner = CapacityPlanner::new(&w, SimDuration::from_millis(10));
+    let menu = planner.menu(&[0.90, 0.99, 1.0]);
+    assert!(menu[0].cmin.get() <= menu[1].cmin.get());
+    assert!(menu[1].cmin.get() <= menu[2].cmin.get());
+}
+
+#[test]
+fn split_simulation_matches_offline_decomposition_exactly() {
+    // Split's primary class runs on a dedicated Cmin server, which is
+    // precisely the model the offline `decompose` emulates — so the
+    // event-driven simulation and the analytic pass must agree request for
+    // request. This cross-validates the engine against the analysis.
+    let w = TraceProfile::WebSearch.generate(SPAN, 17);
+    let deadline = SimDuration::from_millis(20);
+    let target = QosTarget::new(0.90, deadline);
+    let shaper = WorkloadShaper::plan(&w, target);
+    let split = shaper.run(&w, RecombinePolicy::Split);
+    let offline = decompose(&w, shaper.provision().cmin(), deadline);
+    assert_eq!(
+        split.completed_in(ServiceClass::PRIMARY) as u64,
+        offline.primary_count(),
+        "DES and analytic decomposition disagree"
+    );
+}

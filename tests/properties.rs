@@ -1,0 +1,196 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use gqos::core::optimal_drop_lower_bound;
+use gqos::sim::{simulate, FcfsScheduler, FixedRateServer, ServiceClass};
+use gqos::{
+    decompose, CapacityPlanner, Iops, MiserScheduler, Provision, SimDuration, SimTime, Workload,
+};
+
+/// Arbitrary small arrival pattern: up to `n` requests within `max_ms`
+/// milliseconds.
+fn arrivals(n: usize, max_ms: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..max_ms, 1..=n)
+}
+
+/// Brute-force maximum subset of requests servable within the deadline on a
+/// dedicated rate-`C` FCFS server (EDF = FCFS for uniform deadlines).
+fn brute_force_max_kept(w: &Workload, c: Iops, delta: SimDuration) -> u64 {
+    let n = w.len();
+    assert!(n <= 14);
+    let service = c.service_time();
+    let mut best = 0u64;
+    'subsets: for mask in 0..(1u32 << n) {
+        let kept = mask.count_ones() as u64;
+        if kept <= best {
+            continue;
+        }
+        let mut free_at = SimTime::ZERO;
+        for (i, r) in w.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let start = free_at.max(r.arrival);
+            let done = start + service;
+            if done > r.arrival + delta {
+                continue 'subsets;
+            }
+            free_at = done;
+        }
+        best = kept;
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RTT admits exactly as many requests as the offline optimum — the
+    /// paper's central optimality theorem, verified against brute force.
+    #[test]
+    fn rtt_matches_brute_force_optimum(ms in arrivals(12, 60)) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let c = Iops::new(100.0); // 10 ms service
+        let delta = SimDuration::from_millis(20); // maxQ1 = 2
+        let d = decompose(&w, c, delta);
+        let best = brute_force_max_kept(&w, c, delta);
+        prop_assert_eq!(d.primary_count(), best,
+            "RTT kept {} vs optimal {}", d.primary_count(), best);
+    }
+
+    /// RTT never drops fewer than the Lemma 1 lower bound permits (sanity:
+    /// the bound really is a lower bound on RTT too).
+    #[test]
+    fn lemma1_bound_is_respected(ms in arrivals(40, 200), cap in 50u64..400) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let c = Iops::new(cap as f64);
+        let delta = SimDuration::from_millis(25);
+        if c.requests_within(delta) == 0 {
+            return Ok(());
+        }
+        let d = decompose(&w, c, delta);
+        let bound = optimal_drop_lower_bound(&w, c, delta);
+        prop_assert!(d.overflow_count() >= bound,
+            "RTT dropped {} below the lower bound {}", d.overflow_count(), bound);
+    }
+
+    /// Every request RTT admits meets its deadline on a dedicated rate-C
+    /// FCFS server — the guarantee that justifies calling Q1 "guaranteed".
+    #[test]
+    fn admitted_requests_always_meet_deadlines(
+        ms in arrivals(60, 300),
+        cap in 100u64..800,
+        delta_ms in 5u64..50,
+    ) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let c = Iops::new(cap as f64);
+        let delta = SimDuration::from_millis(delta_ms);
+        if c.requests_within(delta) == 0 {
+            return Ok(());
+        }
+        let d = decompose(&w, c, delta);
+        let (q1, _) = d.split(&w);
+        let report = simulate(&q1, FcfsScheduler::new(), FixedRateServer::new(c));
+        prop_assert_eq!(report.completed(), q1.len());
+        if let Some(max) = report.stats().max() {
+            prop_assert!(max <= delta, "Q1 deadline miss: {} > {}", max, delta);
+        }
+    }
+
+    /// Miser with the theoretical surplus ΔC = Cmin never causes a primary
+    /// deadline miss, whatever the arrival pattern.
+    #[test]
+    fn miser_with_full_surplus_never_misses(
+        ms in arrivals(60, 300),
+        cap in 100u64..600,
+        delta_ms in 10u64..50,
+    ) {
+        let c = Iops::new(cap as f64);
+        let delta = SimDuration::from_millis(delta_ms);
+        if c.requests_within(delta) == 0 {
+            return Ok(());
+        }
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let p = Provision::new(c, c); // ΔC = Cmin
+        let report = simulate(
+            &w,
+            MiserScheduler::new(p, delta),
+            FixedRateServer::new(p.total()),
+        );
+        prop_assert_eq!(report.completed(), w.len());
+        let primary = report.stats_for(ServiceClass::PRIMARY);
+        if let Some(max) = primary.max() {
+            prop_assert!(max <= delta,
+                "primary miss with full surplus: {} > {}", max, delta);
+        }
+    }
+
+    /// The planner's result is feasible and minimal (at integer-IOPS
+    /// granularity) for any arrival pattern.
+    #[test]
+    fn planner_is_feasible_and_minimal(
+        ms in arrivals(50, 400),
+        frac in 0.5f64..1.0,
+    ) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let delta = SimDuration::from_millis(10);
+        let planner = CapacityPlanner::new(&w, delta);
+        let c = planner.min_capacity(frac);
+        prop_assert!(planner.fraction_guaranteed(c) >= frac);
+        let below = c.get() - 1.0;
+        if below >= 100.0 {
+            prop_assert!(planner.fraction_guaranteed(Iops::new(below)) < frac,
+                "Cmin {} not minimal", c.get());
+        }
+    }
+
+    /// Workload algebra: merging preserves counts and ordering; shifting
+    /// preserves gaps.
+    #[test]
+    fn workload_algebra_invariants(
+        a in arrivals(30, 1000),
+        b in arrivals(30, 1000),
+        shift in 0u64..5000,
+    ) {
+        let wa = Workload::from_arrivals(a.iter().map(|&m| SimTime::from_millis(m)));
+        let wb = Workload::from_arrivals(b.iter().map(|&m| SimTime::from_millis(m)));
+        let merged = wa.merged(&wb);
+        prop_assert_eq!(merged.len(), wa.len() + wb.len());
+        prop_assert!(merged
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+
+        let shifted = wa.shifted(SimDuration::from_millis(shift));
+        prop_assert_eq!(shifted.len(), wa.len());
+        prop_assert_eq!(shifted.span(), wa.span());
+        prop_assert_eq!(
+            shifted.first_arrival().unwrap(),
+            wa.first_arrival().unwrap() + SimDuration::from_millis(shift)
+        );
+    }
+
+    /// The simulation engine conserves requests and never reorders a FCFS
+    /// class's completions before its arrivals.
+    #[test]
+    fn engine_conserves_and_orders(ms in arrivals(80, 500), cap in 50u64..2000) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(cap as f64)),
+        );
+        prop_assert_eq!(report.completed(), w.len());
+        for r in report.records() {
+            prop_assert!(r.dispatched >= r.arrival);
+            prop_assert!(r.completion > r.dispatched);
+        }
+        // FCFS completions are ordered by arrival.
+        let mut last = SimTime::ZERO;
+        for r in report.records() {
+            prop_assert!(r.arrival >= last);
+            last = r.arrival;
+        }
+    }
+}

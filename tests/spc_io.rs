@@ -1,0 +1,40 @@
+//! SPC trace I/O integration: a generated profile written to disk in the
+//! repository format and read back drives the planner identically.
+
+use std::fs;
+
+use gqos::trace::gen::profiles::TraceProfile;
+use gqos::trace::spc;
+use gqos::{CapacityPlanner, SimDuration};
+
+#[test]
+fn spc_file_round_trip_preserves_planning_results() {
+    let w = TraceProfile::FinTrans.generate(SimDuration::from_secs(30), 77);
+    let dir = std::env::temp_dir().join("gqos_spc_io_test");
+    fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("fintrans.spc");
+
+    let mut bytes = Vec::new();
+    spc::write_trace(&w, &mut bytes).expect("serialise");
+    fs::write(&path, &bytes).expect("write file");
+
+    let reread = spc::read_trace(fs::File::open(&path).expect("open")).expect("parse");
+    assert_eq!(w.len(), reread.len());
+
+    let deadline = SimDuration::from_millis(10);
+    let orig = CapacityPlanner::new(&w, deadline).min_capacity(0.9);
+    let back = CapacityPlanner::new(&reread, deadline).min_capacity(0.9);
+    // SPC timestamps are microsecond-precision text; the capacity result
+    // must be unaffected.
+    assert_eq!(orig.get(), back.get());
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn spc_rejects_garbage_with_position() {
+    let text = "0,1,512,R,0.5\nnot,a,valid,record,here\n";
+    let err = spc::read_trace(text.as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "unhelpful error: {msg}");
+}

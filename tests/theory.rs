@@ -1,0 +1,131 @@
+//! Cross-module theory tests: relationships between the analytical layers
+//! that must hold by construction.
+
+use gqos::core::{optimal_drop_lower_bound, rtt_period_bound, slotted_lower_bound};
+use gqos::trace::envelope::{conforms, min_burst};
+use gqos::trace::gen::profiles::TraceProfile;
+use gqos::{decompose, CapacityPlanner, Iops, SimDuration, SimTime, Workload};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+fn bursty_workload() -> Workload {
+    let mut arrivals: Vec<SimTime> = (0..400).map(|i| ms(i * 9)).collect();
+    arrivals.extend(vec![ms(1111); 45]);
+    arrivals.extend(vec![ms(2222); 25]);
+    Workload::from_arrivals(arrivals)
+}
+
+/// RTT feasibility and token-bucket conformance are the same condition:
+/// every request meets δ at capacity C exactly when the stream conforms to
+/// the bucket `(C·δ, C)`. The full-guarantee planner and the envelope must
+/// therefore agree (up to the slotted/fluid rounding of one request).
+#[test]
+fn full_guarantee_capacity_matches_the_envelope() {
+    let w = bursty_workload();
+    for delta_ms in [10u64, 20, 50] {
+        let delta = SimDuration::from_millis(delta_ms);
+        let c100 = CapacityPlanner::new(&w, delta).min_capacity(1.0).get();
+        // At the planned capacity the stream conforms to (C·δ, C)...
+        assert!(
+            conforms(&w, c100, c100 * delta.as_secs_f64() + 1.0),
+            "planned capacity does not conform at delta {delta_ms} ms"
+        );
+        // ...and a few percent below it, it must not (minimality).
+        let below = c100 * 0.95;
+        assert!(
+            !conforms(&w, below, below * delta.as_secs_f64() - 1.0),
+            "envelope says {below} suffices but the planner needed {c100}"
+        );
+    }
+}
+
+/// The three drop bounds nest as theory dictates:
+/// `fluid Lemma 1 ≤ slotted Lemma 1 ≤ RTT drops = Lemma 2 arithmetic`
+/// (at integer `C·δ`).
+#[test]
+fn drop_bounds_nest_correctly() {
+    let w = bursty_workload();
+    let delta = SimDuration::from_millis(10);
+    for cap in [200.0f64, 300.0, 500.0, 800.0] {
+        let c = Iops::new(cap);
+        let fluid = optimal_drop_lower_bound(&w, c, delta);
+        let slotted = slotted_lower_bound(&w, c, delta);
+        let rtt = decompose(&w, c, delta).overflow_count();
+        let lemma2 = rtt_period_bound(&w, c, delta);
+        assert!(fluid <= slotted + 1, "fluid {fluid} > slotted {slotted} at {cap}");
+        assert!(slotted <= rtt, "slotted {slotted} > rtt {rtt} at {cap}");
+        assert_eq!(rtt, lemma2, "Lemma 2 arithmetic diverged at {cap}");
+    }
+}
+
+/// `Cmin` is antitone in δ and monotone in f across a grid, for every
+/// profile — the structural shape of Table 1, asserted wholesale.
+#[test]
+fn capacity_surface_is_monotone() {
+    let span = SimDuration::from_secs(90);
+    for profile in TraceProfile::ALL {
+        let w = profile.generate(span, 29);
+        let deltas = [5u64, 10, 20, 50];
+        let fractions = [0.90, 0.95, 0.99, 1.0];
+        let mut surface = Vec::new();
+        for &d in &deltas {
+            let planner = CapacityPlanner::new(&w, SimDuration::from_millis(d));
+            surface.push(
+                fractions
+                    .iter()
+                    .map(|&f| planner.min_capacity(f).get())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        for row in &surface {
+            for pair in row.windows(2) {
+                assert!(pair[0] <= pair[1], "{profile}: not monotone in f: {row:?}");
+            }
+        }
+        for col in 0..fractions.len() {
+            for r in 0..deltas.len() - 1 {
+                assert!(
+                    surface[r][col] >= surface[r + 1][col],
+                    "{profile}: not antitone in delta at f={}",
+                    fractions[col]
+                );
+            }
+        }
+    }
+}
+
+/// Decomposing at `Cmin(f)` and re-planning the primary class alone at
+/// 100% needs no more than `Cmin(f)`: the primary class is self-consistent.
+#[test]
+fn primary_class_is_closed_under_planning() {
+    let w = bursty_workload();
+    let delta = SimDuration::from_millis(10);
+    for f in [0.90, 0.95, 0.99] {
+        let c = CapacityPlanner::new(&w, delta).min_capacity(f);
+        let (q1, _) = decompose(&w, c, delta).split(&w);
+        let c_q1 = CapacityPlanner::new(&q1, delta).min_capacity(1.0);
+        assert!(
+            c_q1.get() <= c.get(),
+            "Q1 at f={f} needs {c_q1} > planned {c}"
+        );
+    }
+}
+
+/// The envelope of a merged stream is subadditive: σ_merged(ρa+ρb) ≤
+/// σ_a(ρa) + σ_b(ρb).
+#[test]
+fn envelope_is_subadditive_under_merge() {
+    let a = TraceProfile::WebSearch.generate(SimDuration::from_secs(60), 31);
+    let b = TraceProfile::FinTrans.generate(SimDuration::from_secs(60), 32);
+    let merged = a.merged(&b);
+    for (ra, rb) in [(400.0, 150.0), (600.0, 250.0), (1000.0, 400.0)] {
+        let sum = min_burst(&a, ra) + min_burst(&b, rb);
+        let whole = min_burst(&merged, ra + rb);
+        assert!(
+            whole <= sum + 1e-6,
+            "envelope superadditive: merged {whole} > sum {sum}"
+        );
+    }
+}
