@@ -9,7 +9,10 @@ const N: usize = 10_000;
 
 fn run_cycle<S: FlowScheduler>(mut s: S) -> usize {
     for i in 0..N {
-        s.enqueue(FlowId::new(i % 2), Request::at(SimTime::from_micros(i as u64)));
+        s.enqueue(
+            FlowId::new(i % 2),
+            Request::at(SimTime::from_micros(i as u64)),
+        );
     }
     let mut served = 0;
     while s.dequeue().is_some() {

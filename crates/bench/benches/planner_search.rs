@@ -1,10 +1,42 @@
 //! Micro-benchmark: binary-search capacity planning (Section 2.2) — the
 //! provisioning-time operation, run per client at admission.
+//!
+//! `naive` replicates the original full-decomposition probe (every probe
+//! scans the whole trace and allocates the assignment vector) as the
+//! baseline for the budgeted early-exit search now used by
+//! [`CapacityPlanner::min_capacity`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gqos_core::CapacityPlanner;
 use gqos_trace::gen::profiles::TraceProfile;
-use gqos_trace::SimDuration;
+use gqos_trace::{Iops, SimDuration};
+
+/// The seed implementation: probe via full `fraction_guaranteed`
+/// decompositions, no early exit, no warm start.
+fn naive_min_capacity(planner: &CapacityPlanner, fraction: f64) -> Iops {
+    let floor = (1.0 / planner.deadline().as_secs_f64()).ceil().max(1.0) as u64;
+    let meets = |c: u64| planner.fraction_guaranteed(Iops::new(c as f64)) >= fraction;
+    let mut hi = floor.max(1);
+    while !meets(hi) {
+        hi = hi.checked_mul(2).expect("capacity search overflow");
+    }
+    if hi == floor {
+        return Iops::new(floor as f64);
+    }
+    let mut lo = floor;
+    if meets(lo) {
+        return Iops::new(lo as f64);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Iops::new(hi as f64)
+}
 
 fn bench_min_capacity(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner_min_capacity");
@@ -19,9 +51,37 @@ fn bench_min_capacity(c: &mut Criterion) {
                 b.iter(|| std::hint::black_box(planner.min_capacity(f)));
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("websearch_60s_naive", format!("f{:.0}", f * 100.0)),
+            &f,
+            |b, &f| {
+                b.iter(|| std::hint::black_box(naive_min_capacity(&planner, f)));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_min_capacity);
+fn bench_menu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_menu");
+    group.sample_size(10);
+    let w = TraceProfile::WebSearch.generate(SimDuration::from_secs(60), 1);
+    let planner = CapacityPlanner::new(&w, SimDuration::from_millis(10));
+    let fractions = [0.90, 0.95, 0.99, 0.999, 1.0];
+    group.bench_function("websearch_60s/5_fractions", |b| {
+        b.iter(|| std::hint::black_box(planner.menu(&fractions)));
+    });
+    group.bench_function("websearch_60s_naive/5_fractions", |b| {
+        b.iter(|| {
+            let quotes: Vec<Iops> = fractions
+                .iter()
+                .map(|&f| naive_min_capacity(&planner, f))
+                .collect();
+            std::hint::black_box(quotes)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_capacity, bench_menu);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! must be negligible (the paper's Algorithm 1 is a counter comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gqos_core::{decompose, RttClassifier};
+use gqos_core::{decompose, within_miss_budget, RttClassifier};
 use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::{Iops, SimDuration};
 
@@ -46,5 +46,36 @@ fn bench_offline_decompose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classifier_op, bench_offline_decompose);
+/// The planner's probe operation: a feasibility test at a given capacity.
+/// `full_decompose` is what a probe cost before the budgeted early exit —
+/// a complete scan plus an assignment-vector allocation; `budget_probe`
+/// aborts as soon as the overflow count exceeds the miss budget, which for
+/// an infeasible (low) capacity happens within the first bursts.
+fn bench_budget_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtt_budget_probe");
+    group.sample_size(20);
+    let w = TraceProfile::OpenMail.generate(SimDuration::from_secs(120), 1);
+    let delta = SimDuration::from_millis(10);
+    // ~10% miss budget at a capacity far below Cmin(90%): the probe fails.
+    let budget = w.len() as u64 / 10;
+    let low = Iops::new(300.0);
+    group.throughput(Throughput::Elements(w.len() as u64));
+    group.bench_function("full_decompose/infeasible", |b| {
+        b.iter(|| {
+            let d = decompose(&w, low, delta);
+            std::hint::black_box(d.overflow_count() <= budget)
+        });
+    });
+    group.bench_function("budget_probe/infeasible", |b| {
+        b.iter(|| std::hint::black_box(within_miss_budget(&w, low, delta, budget)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classifier_op,
+    bench_offline_decompose,
+    bench_budget_probe
+);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use gqos_bench::{CsvWriter, ExpConfig, Table};
 use gqos_core::{CapacityPlanner, FairQueueScheduler, MiserScheduler, Provision};
-use gqos_sim::{simulate, FixedRateServer, RunReport, ServiceClass};
+use gqos_sim::{simulate, FixedRateServer, ServiceClass};
 use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::{Iops, SimDuration};
 
@@ -44,28 +44,32 @@ fn main() {
         "overflow_max_ms".to_string(),
     ]];
 
-    for &frac in &fractions_of_cmin {
+    // The (delta_c, policy) cells are independent simulations — fan them
+    // over the pool and render in cell order.
+    let cells: Vec<(f64, &str)> = fractions_of_cmin
+        .iter()
+        .flat_map(|&f| [(f, "FairQueue"), (f, "Miser")])
+        .collect();
+    let reports = cfg.pool().map(cells.clone(), |(frac, name)| {
         let delta_c = Iops::new((cmin.get() * frac).max(1.0));
         let provision = Provision::new(cmin, delta_c);
-        let runs: [(&str, RunReport); 2] = [
-            (
-                "FairQueue",
-                simulate(
-                    &workload,
-                    FairQueueScheduler::new(provision, deadline),
-                    FixedRateServer::new(provision.total()),
-                ),
+        match name {
+            "FairQueue" => simulate(
+                &workload,
+                FairQueueScheduler::new(provision, deadline),
+                FixedRateServer::new(provision.total()),
             ),
-            (
-                "Miser",
-                simulate(
-                    &workload,
-                    MiserScheduler::new(provision, deadline),
-                    FixedRateServer::new(provision.total()),
-                ),
+            _ => simulate(
+                &workload,
+                MiserScheduler::new(provision, deadline),
+                FixedRateServer::new(provision.total()),
             ),
-        ];
-        for (name, report) in runs {
+        }
+    });
+
+    for ((frac, name), report) in cells.into_iter().zip(reports) {
+        let delta_c = Iops::new((cmin.get() * frac).max(1.0));
+        {
             let primary = report.stats_for(ServiceClass::PRIMARY);
             let overflow = report.stats_for(ServiceClass::OVERFLOW);
             let within = primary.fraction_within(deadline);

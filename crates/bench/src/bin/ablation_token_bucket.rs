@@ -15,9 +15,7 @@ use std::collections::VecDeque;
 use gqos_bench::{CsvWriter, ExpConfig, Table};
 use gqos_core::{CapacityPlanner, MiserScheduler, Provision};
 use gqos_fairqueue::TokenBucket;
-use gqos_sim::{
-    simulate, Dispatch, FixedRateServer, Scheduler, ServerId, ServiceClass,
-};
+use gqos_sim::{simulate, Dispatch, FixedRateServer, Scheduler, ServerId, ServiceClass};
 use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::{Request, SimDuration, SimTime};
 
@@ -81,7 +79,9 @@ fn main() {
         "lost".to_string(),
     ]];
 
-    for profile in TraceProfile::ALL {
+    // One independent cell per workload — fan them over the pool and
+    // render in profile order.
+    let cells = cfg.pool().map(TraceProfile::ALL.to_vec(), |profile| {
         let workload = profile.generate(cfg.span, cfg.seed);
         let cmin = CapacityPlanner::new(&workload, deadline).min_capacity(0.90);
         let provision = Provision::with_default_surplus(cmin, deadline);
@@ -99,8 +99,11 @@ fn main() {
             MiserScheduler::new(provision, deadline),
             FixedRateServer::new(provision.total()),
         );
+        (profile, policed, shaped)
+    });
 
-        for (name, report) in [("TokenBucket", &policed), ("RTT+Miser", &shaped)] {
+    for (profile, policed, shaped) in &cells {
+        for (name, report) in [("TokenBucket", policed), ("RTT+Miser", shaped)] {
             let within = report.stats().fraction_within(deadline);
             let lost = report.unfinished();
             table.row(vec![
@@ -109,7 +112,10 @@ fn main() {
                 format!("{:.1}%", within * 100.0),
                 report.completed().to_string(),
                 if lost > 0 {
-                    format!("{lost} ({:.1}%)", 100.0 * lost as f64 / report.total_requests() as f64)
+                    format!(
+                        "{lost} ({:.1}%)",
+                        100.0 * lost as f64 / report.total_requests() as f64
+                    )
                 } else {
                     "0".into()
                 },

@@ -1,27 +1,34 @@
 //! Regenerates every table and figure of the paper in one run.
+//!
+//! With `--parallel` (or `--threads <n>`) the seven sections render
+//! concurrently into per-section buffers and are printed in the fixed
+//! section order, so the output is byte-identical to a serial run.
 
 use gqos_bench::experiments;
 use gqos_bench::ExpConfig;
 
-type Experiment = fn(&ExpConfig);
+type Experiment = fn(&ExpConfig) -> String;
 
 fn main() {
     let cfg = ExpConfig::from_env();
     let rule = "=".repeat(72);
     let sections: [(&str, Experiment); 7] = [
-        ("Table 1", experiments::table1::run),
-        ("Figure 2", experiments::fig2::run),
-        ("Figure 4", experiments::fig4::run),
-        ("Figure 5", experiments::fig5::run),
-        ("Figure 6", experiments::fig6::run),
-        ("Figure 7", experiments::fig7::run),
-        ("Figure 8", experiments::fig8::run),
+        ("Table 1", experiments::table1::report),
+        ("Figure 2", experiments::fig2::report),
+        ("Figure 4", experiments::fig4::report),
+        ("Figure 5", experiments::fig5::report),
+        ("Figure 6", experiments::fig6::report),
+        ("Figure 7", experiments::fig7::report),
+        ("Figure 8", experiments::fig8::report),
     ];
-    for (name, f) in sections {
+    let cfg = &cfg;
+    let tasks: Vec<_> = sections.iter().map(|&(_, f)| move || f(cfg)).collect();
+    let reports = cfg.pool().run(tasks);
+    for ((name, _), body) in sections.iter().zip(reports) {
         println!("{rule}");
         println!("== {name}");
         println!("{rule}");
-        f(&cfg);
+        print!("{body}");
         println!();
     }
 }

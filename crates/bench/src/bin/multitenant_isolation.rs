@@ -52,7 +52,11 @@ fn main() {
     println!();
 
     // Shared FCFS at the identical total capacity.
-    let fcfs = simulate(&merged, FcfsScheduler::new(), FixedRateServer::new(capacity));
+    let fcfs = simulate(
+        &merged,
+        FcfsScheduler::new(),
+        FixedRateServer::new(capacity),
+    );
     let shaped = simulate(&merged, scheduler, FixedRateServer::new(capacity));
 
     let mut table = Table::new(vec![

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use gqos_parallel::WorkerPool;
 use gqos_trace::SimDuration;
 
 /// Configuration parsed from an experiment binary's arguments.
@@ -11,7 +12,13 @@ use gqos_trace::SimDuration;
 /// - `--span <seconds>` — trace length to synthesise (default 1200 s);
 /// - `--seed <n>` — generator seed (default 42);
 /// - `--quick` — shorthand for `--span 120`, for smoke runs;
-/// - `--out <dir>` — output directory for CSV files (default `results`).
+/// - `--out <dir>` — output directory for CSV files (default `results`);
+/// - `--parallel` — fan independent cells over all available cores;
+/// - `--threads <n>` — fan over exactly `n` worker threads (1 = serial).
+///
+/// Parallelism never changes results: every experiment assembles its cells
+/// in a fixed order (see [`WorkerPool::map`]), so `--parallel` output is
+/// byte-identical to a serial run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ExpConfig {
     /// Length of the synthesised traces.
@@ -20,6 +27,8 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Directory CSV outputs are written into.
     pub out_dir: String,
+    /// Worker threads for independent experiment cells (1 = serial).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -28,6 +37,7 @@ impl Default for ExpConfig {
             span: SimDuration::from_secs(1200),
             seed: 42,
             out_dir: "results".to_string(),
+            threads: 1,
         }
     }
 }
@@ -66,10 +76,24 @@ impl ExpConfig {
                 }
                 "--quick" => cfg.span = SimDuration::from_secs(120),
                 "--out" => {
-                    cfg.out_dir = it.next().expect("--out requires a directory").as_ref().to_string();
+                    cfg.out_dir = it
+                        .next()
+                        .expect("--out requires a directory")
+                        .as_ref()
+                        .to_string();
+                }
+                "--parallel" => cfg.threads = WorkerPool::from_env().threads(),
+                "--threads" => {
+                    cfg.threads = it
+                        .next()
+                        .expect("--threads requires a value")
+                        .as_ref()
+                        .parse()
+                        .expect("--threads value must be an integer");
                 }
                 other => panic!(
-                    "unknown flag `{other}`; supported: --span <s>, --seed <n>, --quick, --out <dir>"
+                    "unknown flag `{other}`; supported: --span <s>, --seed <n>, --quick, \
+                     --out <dir>, --parallel, --threads <n>"
                 ),
             }
         }
@@ -79,6 +103,11 @@ impl ExpConfig {
     /// Parses configuration from the process arguments.
     pub fn from_env() -> Self {
         ExpConfig::parse(std::env::args().skip(1))
+    }
+
+    /// The worker pool experiments fan their cells over.
+    pub fn pool(&self) -> WorkerPool {
+        WorkerPool::new(self.threads)
     }
 }
 
@@ -118,6 +147,17 @@ mod tests {
     fn quick_flag_shortens_span() {
         let c = ExpConfig::parse(["--quick"]);
         assert_eq!(c.span, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn threads_flags() {
+        assert_eq!(ExpConfig::default().threads, 1);
+        assert!(ExpConfig::default().pool().is_serial());
+        let c = ExpConfig::parse(["--threads", "6"]);
+        assert_eq!(c.threads, 6);
+        assert_eq!(c.pool().threads(), 6);
+        let c = ExpConfig::parse(["--parallel"]);
+        assert!(c.threads >= 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::{RateSeries, SimDuration, SimTime, Workload};
 
 use crate::config::ExpConfig;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 
 const WINDOW: SimDuration = SimDuration::from_millis(100);
@@ -28,8 +29,7 @@ pub struct Fig2Result {
 }
 
 fn completion_series(report: &RunReport, origin: SimTime) -> RateSeries {
-    let completions =
-        Workload::from_arrivals(report.records().iter().map(|r| r.completion));
+    let completions = Workload::from_arrivals(report.records().iter().map(|r| r.completion));
     RateSeries::with_origin(&completions, WINDOW, origin)
 }
 
@@ -58,11 +58,15 @@ pub fn compute(cfg: &ExpConfig) -> Fig2Result {
     }
 }
 
-/// Runs the experiment: prints summary statistics of the three series and
-/// writes `fig2_shaping.csv` (per-window rates).
-pub fn run(cfg: &ExpConfig) {
-    println!("Figure 2: shaping the OpenMail trace (windows of 100 ms)  [{cfg}]");
-    println!();
+/// Renders the experiment report and writes `fig2_shaping.csv`
+/// (per-window rates).
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "Figure 2: shaping the OpenMail trace (windows of 100 ms)  [{cfg}]"
+    );
+    outln!(out);
     let result = compute(cfg);
 
     let mut table = Table::new(vec![
@@ -85,12 +89,14 @@ pub fn run(cfg: &ExpConfig) {
             format!("{:.1}", if mean > 0.0 { peak / mean } else { 0.0 }),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
         "Cmin(90%, 10 ms) = {:.0} IOPS  (paper: 1080 IOPS, original peak ≈ 4440, mean ≈ 534)",
         result.cmin
     );
-    println!(
+    outln!(
+        out,
         "Shape check: the Q1 series must be dramatically flatter than the original\n\
          (paper: decomposition serves 90% of OpenMail with ~12% of the worst-case capacity)."
     );
@@ -123,5 +129,11 @@ pub fn run(cfg: &ExpConfig) {
     }
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig2_shaping", &rows).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

@@ -13,6 +13,7 @@ use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::SimDuration;
 
 use crate::config::ExpConfig;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 use crate::paper::fig4_fcfs_fraction;
 
@@ -33,29 +34,31 @@ pub struct Fig4Cell {
     pub stats: ResponseStats,
 }
 
-/// Computes all nine cells.
+/// Computes all nine cells, fanning the `(workload, deadline)` grid over
+/// [`ExpConfig::pool`].
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig4Cell> {
-    let mut cells = Vec::new();
-    for profile in TraceProfile::ALL {
-        let workload = profile.generate(cfg.span, cfg.seed);
-        for &deadline_ms in &FIG4_DEADLINES_MS {
-            let deadline = SimDuration::from_millis(deadline_ms);
-            let capacity =
-                CapacityPlanner::new(&workload, deadline).min_capacity(FIG4_FRACTION);
-            let report = simulate(
-                &workload,
-                FcfsScheduler::new(),
-                FixedRateServer::new(capacity),
-            );
-            cells.push(Fig4Cell {
-                profile,
-                deadline_ms,
-                capacity: capacity.get(),
-                stats: report.stats(),
-            });
+    let workloads = cfg.pool().map(TraceProfile::ALL.to_vec(), |profile| {
+        (profile, profile.generate(cfg.span, cfg.seed))
+    });
+    let grid: Vec<(usize, u64)> = (0..workloads.len())
+        .flat_map(|w| FIG4_DEADLINES_MS.iter().map(move |&d| (w, d)))
+        .collect();
+    cfg.pool().map(grid, |(w, deadline_ms)| {
+        let (profile, ref workload) = workloads[w];
+        let deadline = SimDuration::from_millis(deadline_ms);
+        let capacity = CapacityPlanner::new(workload, deadline).min_capacity(FIG4_FRACTION);
+        let report = simulate(
+            workload,
+            FcfsScheduler::new(),
+            FixedRateServer::new(capacity),
+        );
+        Fig4Cell {
+            profile,
+            deadline_ms,
+            capacity: capacity.get(),
+            stats: report.stats(),
         }
-    }
-    cells
+    })
 }
 
 /// Log-spaced response-time points for the CDF export (ms).
@@ -71,11 +74,15 @@ pub fn cdf_points_ms() -> Vec<f64> {
     points
 }
 
-/// Runs the experiment: prints the fraction-within-deadline comparison and
-/// writes `fig4_fcfs_cdf.csv`.
-pub fn run(cfg: &ExpConfig) {
-    println!("Figure 4: FCFS response-time CDF at Cmin(90%, delta)  [{cfg}]");
-    println!();
+/// Renders the fraction-within-deadline comparison and writes
+/// `fig4_fcfs_cdf.csv`.
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "Figure 4: FCFS response-time CDF at Cmin(90%, delta)  [{cfg}]"
+    );
+    outln!(out);
     let cells = compute(cfg);
 
     let mut table = Table::new(vec![
@@ -101,8 +108,9 @@ pub fn run(cfg: &ExpConfig) {
             "90%".into(),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
         "Shape check: every FCFS cell sits far below the 90% the same capacity\n\
          achieves with decomposition, and WS degrades as delta relaxes."
     );
@@ -128,5 +136,11 @@ pub fn run(cfg: &ExpConfig) {
     }
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig4_fcfs_cdf", &rows).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

@@ -10,6 +10,7 @@ use gqos_trace::SimDuration;
 
 use crate::config::ExpConfig;
 use crate::experiments::fig4::cdf_points_ms;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 use crate::paper::fig5_fcfs_fraction;
 
@@ -30,35 +31,41 @@ pub struct Fig5Cell {
     pub stats: ResponseStats,
 }
 
-/// Computes all six cells.
+/// Computes all six cells, fanning the `(workload, fraction)` grid over
+/// [`ExpConfig::pool`].
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig5Cell> {
     let deadline = SimDuration::from_millis(FIG5_DEADLINE_MS);
-    let mut cells = Vec::new();
-    for profile in TraceProfile::ALL {
-        let workload = profile.generate(cfg.span, cfg.seed);
-        let planner = CapacityPlanner::new(&workload, deadline);
-        for &fraction in &FIG5_FRACTIONS {
-            let capacity = planner.min_capacity(fraction);
-            let report = simulate(
-                &workload,
-                FcfsScheduler::new(),
-                FixedRateServer::new(capacity),
-            );
-            cells.push(Fig5Cell {
-                profile,
-                fraction,
-                capacity: capacity.get(),
-                stats: report.stats(),
-            });
+    let workloads = cfg.pool().map(TraceProfile::ALL.to_vec(), |profile| {
+        (profile, profile.generate(cfg.span, cfg.seed))
+    });
+    let grid: Vec<(usize, f64)> = (0..workloads.len())
+        .flat_map(|w| FIG5_FRACTIONS.iter().map(move |&f| (w, f)))
+        .collect();
+    cfg.pool().map(grid, |(w, fraction)| {
+        let (profile, ref workload) = workloads[w];
+        let capacity = CapacityPlanner::new(workload, deadline).min_capacity(fraction);
+        let report = simulate(
+            workload,
+            FcfsScheduler::new(),
+            FixedRateServer::new(capacity),
+        );
+        Fig5Cell {
+            profile,
+            fraction,
+            capacity: capacity.get(),
+            stats: report.stats(),
         }
-    }
-    cells
+    })
 }
 
-/// Runs the experiment and writes `fig5_fcfs_cdf.csv`.
-pub fn run(cfg: &ExpConfig) {
-    println!("Figure 5: FCFS CDF at Cmin(f, 50 ms), f in {{95%, 99%}}  [{cfg}]");
-    println!();
+/// Renders the experiment report and writes `fig5_fcfs_cdf.csv`.
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "Figure 5: FCFS CDF at Cmin(f, 50 ms), f in {{95%, 99%}}  [{cfg}]"
+    );
+    outln!(out);
     let cells = compute(cfg);
     let deadline = SimDuration::from_millis(FIG5_DEADLINE_MS);
 
@@ -82,8 +89,9 @@ pub fn run(cfg: &ExpConfig) {
             paper,
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
         "Shape check: FCFS compliance rises with the planned fraction (more\n\
          capacity) but stays below the decomposed guarantee in every cell."
     );
@@ -109,5 +117,11 @@ pub fn run(cfg: &ExpConfig) {
     }
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig5_fcfs_cdf", &rows).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

@@ -12,6 +12,7 @@ use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::SimDuration;
 
 use crate::config::ExpConfig;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 use crate::paper::fig6a_reference;
 
@@ -34,32 +35,30 @@ pub struct Fig6Panel {
     pub reports: Vec<(RecombinePolicy, RunReport)>,
 }
 
-/// Computes both panels.
+/// Computes both panels, fanning them over [`ExpConfig::pool`].
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig6Panel> {
     let deadline = SimDuration::from_millis(FIG6_DEADLINE_MS);
     let workload = TraceProfile::WebSearch.generate(cfg.span, cfg.seed);
     let planner = CapacityPlanner::new(&workload, deadline);
-    FIG6_FRACTIONS
-        .iter()
-        .map(|&fraction| {
-            let provision =
-                Provision::with_default_surplus(planner.min_capacity(fraction), deadline);
-            let shaper = WorkloadShaper::new(provision, deadline);
-            Fig6Panel {
-                fraction,
-                provision,
-                reports: shaper.run_all(&workload),
-            }
-        })
-        .collect()
+    cfg.pool().map(FIG6_FRACTIONS.to_vec(), |fraction| {
+        let provision = Provision::with_default_surplus(planner.min_capacity(fraction), deadline);
+        let shaper = WorkloadShaper::new(provision, deadline);
+        Fig6Panel {
+            fraction,
+            provision,
+            reports: shaper.run_all(&workload),
+        }
+    })
 }
 
-/// Runs the experiment and writes `fig6_schedulers.csv`.
-pub fn run(cfg: &ExpConfig) {
-    println!(
+/// Renders the experiment report and writes `fig6_schedulers.csv`.
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
         "Figure 6: FCFS vs Split vs FairQueue vs Miser (WebSearch, delta = 50 ms)  [{cfg}]"
     );
-    println!();
+    outln!(out);
     let edges: Vec<SimDuration> = FIG6_BUCKETS_MS
         .iter()
         .map(|&ms| SimDuration::from_millis(ms))
@@ -77,7 +76,8 @@ pub fn run(cfg: &ExpConfig) {
     ]];
 
     for panel in &panels {
-        println!(
+        outln!(
+            out,
             "Target ({:.0}%, 50 ms), capacity {} (cumulative bucket fractions):",
             panel.fraction * 100.0,
             panel.provision
@@ -101,7 +101,13 @@ pub fn run(cfg: &ExpConfig) {
             }
             let paper = if (panel.fraction - 0.90).abs() < 1e-9 {
                 fig6a_reference(&policy.to_string())
-                    .map(|r| format!("{:.0}% / {:.0}%", r.within_deadline * 100.0, r.beyond_1s * 100.0))
+                    .map(|r| {
+                        format!(
+                            "{:.0}% / {:.0}%",
+                            r.within_deadline * 100.0,
+                            r.beyond_1s * 100.0
+                        )
+                    })
                     .unwrap_or_default()
             } else {
                 String::new()
@@ -125,13 +131,16 @@ pub fn run(cfg: &ExpConfig) {
                 format!("{:.4}", f[4]),
             ]);
         }
-        println!("{}", table.render());
+        outln!(out, "{}", table.render());
     }
 
     // Panel (c): Miser's overflow class normalised to FairQueue's. This is
     // sensitive to the burst realization (how saturated the plateaus are),
-    // so average over several seeds.
-    println!(
+    // so average over several seeds. The (fraction, seed) cells fan over
+    // the pool; the sums accumulate in cell order, so the averages are
+    // identical at any thread count.
+    outln!(
+        out,
         "Figure 6(c): Miser overflow class relative to FairQueue,
          averaged over {} seeds (paper: ~0.85-0.90):",
         FIG6C_SEEDS.len()
@@ -142,30 +151,31 @@ pub fn run(cfg: &ExpConfig) {
         "mean ratio".into(),
         "max ratio".into(),
     ]);
-    for &fraction in &FIG6_FRACTIONS {
-        let mut mean_sum = 0.0;
-        let mut max_sum = 0.0;
-        for &seed in &FIG6C_SEEDS {
-            let workload = TraceProfile::WebSearch.generate(cfg.span, seed);
-            let planner = CapacityPlanner::new(&workload, deadline);
-            let provision =
-                Provision::with_default_surplus(planner.min_capacity(fraction), deadline);
-            let shaper = WorkloadShaper::new(provision, deadline);
-            let fq = shaper
-                .run(&workload, RecombinePolicy::FairQueue)
-                .stats_for(ServiceClass::OVERFLOW);
-            let miser = shaper
-                .run(&workload, RecombinePolicy::Miser)
-                .stats_for(ServiceClass::OVERFLOW);
-            let ratio = |a: Option<SimDuration>, b: Option<SimDuration>| match (a, b) {
-                (Some(a), Some(b)) if b > SimDuration::ZERO => {
-                    a.as_secs_f64() / b.as_secs_f64()
-                }
-                _ => f64::NAN,
-            };
-            mean_sum += ratio(miser.mean(), fq.mean());
-            max_sum += ratio(miser.max(), fq.max());
-        }
+    let grid: Vec<(f64, u64)> = FIG6_FRACTIONS
+        .iter()
+        .flat_map(|&f| FIG6C_SEEDS.iter().map(move |&s| (f, s)))
+        .collect();
+    let ratios = cfg.pool().map(grid, |(fraction, seed)| {
+        let workload = TraceProfile::WebSearch.generate(cfg.span, seed);
+        let planner = CapacityPlanner::new(&workload, deadline);
+        let provision = Provision::with_default_surplus(planner.min_capacity(fraction), deadline);
+        let shaper = WorkloadShaper::new(provision, deadline);
+        let fq = shaper
+            .run(&workload, RecombinePolicy::FairQueue)
+            .stats_for(ServiceClass::OVERFLOW);
+        let miser = shaper
+            .run(&workload, RecombinePolicy::Miser)
+            .stats_for(ServiceClass::OVERFLOW);
+        let ratio = |a: Option<SimDuration>, b: Option<SimDuration>| match (a, b) {
+            (Some(a), Some(b)) if b > SimDuration::ZERO => a.as_secs_f64() / b.as_secs_f64(),
+            _ => f64::NAN,
+        };
+        (ratio(miser.mean(), fq.mean()), ratio(miser.max(), fq.max()))
+    });
+    for (i, &fraction) in FIG6_FRACTIONS.iter().enumerate() {
+        let per_seed = &ratios[i * FIG6C_SEEDS.len()..(i + 1) * FIG6C_SEEDS.len()];
+        let mean_sum: f64 = per_seed.iter().map(|&(m, _)| m).sum();
+        let max_sum: f64 = per_seed.iter().map(|&(_, x)| x).sum();
         let mean_ratio = mean_sum / FIG6C_SEEDS.len() as f64;
         let max_ratio = max_sum / FIG6C_SEEDS.len() as f64;
         table.row(vec![
@@ -183,9 +193,15 @@ pub fn run(cfg: &ExpConfig) {
             String::new(),
         ]);
     }
-    println!("{}", table.render());
+    outln!(out, "{}", table.render());
 
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig6_schedulers", &csv).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

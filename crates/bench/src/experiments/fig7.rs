@@ -11,6 +11,7 @@ use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::SimDuration;
 
 use crate::config::ExpConfig;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 use crate::paper::{fig7_decomposed_error, fig7_ratio_100pct};
 
@@ -33,33 +34,41 @@ pub struct Fig7Cell {
     pub report: ConsolidationReport,
 }
 
-/// Computes all cells.
+/// Computes all cells, fanning the `(workload, fraction, shift)` grid over
+/// [`ExpConfig::pool`].
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig7Cell> {
     let deadline = SimDuration::from_millis(FIG7_DEADLINE_MS);
-    let mut cells = Vec::new();
-    for profile in TraceProfile::ALL {
-        let workload = profile.generate(cfg.span, cfg.seed);
-        for &fraction in &FIG7_FRACTIONS {
-            let study = ConsolidationStudy::new(QosTarget::new(fraction, deadline));
-            for &shift_s in &FIG7_SHIFTS_S {
-                let report =
-                    study.compare_shifted(&workload, SimDuration::from_secs(shift_s));
-                cells.push(Fig7Cell {
-                    profile,
-                    fraction,
-                    shift_s,
-                    report,
-                });
-            }
+    let workloads = cfg.pool().map(TraceProfile::ALL.to_vec(), |profile| {
+        (profile, profile.generate(cfg.span, cfg.seed))
+    });
+    let grid: Vec<(usize, f64, u64)> = (0..workloads.len())
+        .flat_map(|w| {
+            FIG7_FRACTIONS
+                .iter()
+                .flat_map(move |&f| FIG7_SHIFTS_S.iter().map(move |&s| (w, f, s)))
+        })
+        .collect();
+    cfg.pool().map(grid, |(w, fraction, shift_s)| {
+        let (profile, ref workload) = workloads[w];
+        let study = ConsolidationStudy::new(QosTarget::new(fraction, deadline));
+        let report = study.compare_shifted(workload, SimDuration::from_secs(shift_s));
+        Fig7Cell {
+            profile,
+            fraction,
+            shift_s,
+            report,
         }
-    }
-    cells
+    })
 }
 
-/// Runs the experiment and writes `fig7_same_mux.csv`.
-pub fn run(cfg: &ExpConfig) {
-    println!("Figure 7: same-workload multiplexing (delta = 10 ms)  [{cfg}]");
-    println!();
+/// Renders the experiment report and writes `fig7_same_mux.csv`.
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "Figure 7: same-workload multiplexing (delta = 10 ms)  [{cfg}]"
+    );
+    outln!(out);
 
     let cells = compute(cfg);
     let mut csv = vec![vec![
@@ -87,7 +96,11 @@ pub fn run(cfg: &ExpConfig) {
             format!("ratio {v:.2}")
         } else {
             let (e90, e95) = fig7_decomposed_error(cell.profile);
-            let v = if (cell.fraction - 0.90).abs() < 1e-9 { e90 } else { e95 };
+            let v = if (cell.fraction - 0.90).abs() < 1e-9 {
+                e90
+            } else {
+                e95
+            };
             format!("err {:.1}%", v * 100.0)
         };
         table.row(vec![
@@ -108,13 +121,20 @@ pub fn run(cfg: &ExpConfig) {
             format!("{:.4}", cell.report.ratio()),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
         "Shape check: at f = 100% the additive estimate over-provisions\n\
          (ratio well below 1); at f = 90%/95% the estimate is nearly exact."
     );
 
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig7_same_mux", &csv).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

@@ -8,6 +8,7 @@ use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::SimDuration;
 
 use crate::config::ExpConfig;
+use crate::outln;
 use crate::output::{CsvWriter, Table};
 use crate::paper::{FIG8_DECOMPOSED_ERROR, FIG8_RATIO_100PCT};
 
@@ -33,24 +34,29 @@ pub struct Fig8Cell {
     pub report: ConsolidationReport,
 }
 
-/// Computes all cells.
+/// Computes all cells, fanning the `(pair, fraction)` grid over
+/// [`ExpConfig::pool`].
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig8Cell> {
     let deadline = SimDuration::from_millis(FIG8_DEADLINE_MS);
-    let mut cells = Vec::new();
-    for (i, &(a, b)) in FIG8_PAIRS.iter().enumerate() {
+    let pairs = cfg.pool().map(FIG8_PAIRS.to_vec(), |(a, b)| {
         // Distinct seeds so the two clients are independent processes.
-        let wa = a.generate(cfg.span, cfg.seed);
-        let wb = b.generate(cfg.span, cfg.seed.wrapping_add(1));
-        for &fraction in &FIG8_FRACTIONS {
-            let study = ConsolidationStudy::new(QosTarget::new(fraction, deadline));
-            cells.push(Fig8Cell {
-                pair: i,
-                fraction,
-                report: study.compare(&[&wa, &wb]),
-            });
+        (
+            a.generate(cfg.span, cfg.seed),
+            b.generate(cfg.span, cfg.seed.wrapping_add(1)),
+        )
+    });
+    let grid: Vec<(usize, f64)> = (0..pairs.len())
+        .flat_map(|i| FIG8_FRACTIONS.iter().map(move |&f| (i, f)))
+        .collect();
+    cfg.pool().map(grid, |(i, fraction)| {
+        let (ref wa, ref wb) = pairs[i];
+        let study = ConsolidationStudy::new(QosTarget::new(fraction, deadline));
+        Fig8Cell {
+            pair: i,
+            fraction,
+            report: study.compare(&[wa, wb]),
         }
-    }
-    cells
+    })
 }
 
 fn pair_name(i: usize) -> String {
@@ -58,10 +64,14 @@ fn pair_name(i: usize) -> String {
     format!("{}+{}", a.abbrev(), b.abbrev())
 }
 
-/// Runs the experiment and writes `fig8_diff_mux.csv`.
-pub fn run(cfg: &ExpConfig) {
-    println!("Figure 8: different-workload multiplexing (delta = 10 ms)  [{cfg}]");
-    println!();
+/// Renders the experiment report and writes `fig8_diff_mux.csv`.
+pub fn report(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "Figure 8: different-workload multiplexing (delta = 10 ms)  [{cfg}]"
+    );
+    outln!(out);
 
     let cells = compute(cfg);
     let mut csv = vec![vec![
@@ -85,7 +95,11 @@ pub fn run(cfg: &ExpConfig) {
             format!("ratio {:.2}", FIG8_RATIO_100PCT[cell.pair])
         } else {
             let (e90, e95) = FIG8_DECOMPOSED_ERROR[cell.pair];
-            let v = if (cell.fraction - 0.90).abs() < 1e-9 { e90 } else { e95 };
+            let v = if (cell.fraction - 0.90).abs() < 1e-9 {
+                e90
+            } else {
+                e95
+            };
             format!("err {:.1}%", v * 100.0)
         };
         table.row(vec![
@@ -104,8 +118,9 @@ pub fn run(cfg: &ExpConfig) {
             format!("{:.4}", cell.report.ratio()),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
         "Shape check: decomposed estimates (f = 90%/95%) track the actual\n\
          requirement closely; the f = 100% estimate over-provisions, least so\n\
          for pairs dominated by one workload's huge peak (paper: FT+OM, OM+WS)."
@@ -113,5 +128,11 @@ pub fn run(cfg: &ExpConfig) {
 
     let writer = CsvWriter::new(&cfg.out_dir).expect("create output directory");
     let path = writer.write("fig8_diff_mux", &csv).expect("write CSV");
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
+    out
+}
+
+/// Runs the experiment: prints the report of [`report`].
+pub fn run(cfg: &ExpConfig) {
+    print!("{}", report(cfg));
 }

@@ -5,6 +5,32 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// `writeln!` into a `String` report buffer, ignoring the (infallible)
+/// result. Experiments render their whole stdout report through this so
+/// that `all_experiments --parallel` can compute sections concurrently and
+/// still print them in a fixed order.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_bench::outln;
+///
+/// let mut buf = String::new();
+/// outln!(buf, "Cmin = {}", 410);
+/// outln!(buf);
+/// assert_eq!(buf, "Cmin = 410\n\n");
+/// ```
+#[macro_export]
+macro_rules! outln {
+    ($buf:expr) => {{
+        $buf.push('\n');
+    }};
+    ($buf:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($buf, $($arg)*);
+    }};
+}
+
 /// A simple aligned text table.
 ///
 /// # Examples

@@ -1,0 +1,72 @@
+//! Serial-vs-parallel equivalence: every experiment's rendered report and
+//! CSV output must be byte-identical at any thread count. This is the
+//! contract that makes `--parallel` safe to use for the paper's artifacts.
+
+use std::fs;
+
+use gqos_bench::experiments::{fig2, fig4, fig5, fig6, fig7, fig8, table1};
+use gqos_bench::ExpConfig;
+use gqos_trace::SimDuration;
+
+fn cfg(threads: usize, out: &str) -> ExpConfig {
+    ExpConfig {
+        // Short span so the whole suite stays fast; long enough that every
+        // experiment has real bursts to chew on.
+        span: SimDuration::from_secs(30),
+        seed: 42,
+        out_dir: out.to_string(),
+        threads,
+    }
+}
+
+/// Runs `report` serially and with 4 workers into the same scratch dir and
+/// asserts the rendered text and the CSV bytes match exactly.
+fn assert_equivalent(name: &str, csv: &str, report: fn(&ExpConfig) -> String) {
+    let dir = std::env::temp_dir().join(format!("gqos_parallel_equiv_{name}"));
+    let out = dir.to_str().expect("utf-8 temp path");
+
+    let serial_text = report(&cfg(1, out));
+    let serial_csv = fs::read(dir.join(format!("{csv}.csv"))).expect("serial CSV");
+
+    let parallel_text = report(&cfg(4, out));
+    let parallel_csv = fs::read(dir.join(format!("{csv}.csv"))).expect("parallel CSV");
+
+    assert_eq!(serial_text, parallel_text, "{name}: report text diverged");
+    assert_eq!(serial_csv, parallel_csv, "{name}: CSV bytes diverged");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn table1_serial_parallel_identical() {
+    assert_equivalent("table1", "table1", table1::report);
+}
+
+#[test]
+fn fig2_serial_parallel_identical() {
+    assert_equivalent("fig2", "fig2_shaping", fig2::report);
+}
+
+#[test]
+fn fig4_serial_parallel_identical() {
+    assert_equivalent("fig4", "fig4_fcfs_cdf", fig4::report);
+}
+
+#[test]
+fn fig5_serial_parallel_identical() {
+    assert_equivalent("fig5", "fig5_fcfs_cdf", fig5::report);
+}
+
+#[test]
+fn fig6_serial_parallel_identical() {
+    assert_equivalent("fig6", "fig6_schedulers", fig6::report);
+}
+
+#[test]
+fn fig7_serial_parallel_identical() {
+    assert_equivalent("fig7", "fig7_same_mux", fig7::report);
+}
+
+#[test]
+fn fig8_serial_parallel_identical() {
+    assert_equivalent("fig8", "fig8_diff_mux", fig8::report);
+}

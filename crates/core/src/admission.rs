@@ -112,7 +112,11 @@ impl AdmissionController {
     ///
     /// Returns [`AdmissionError`] when the client's `Cmin + ΔC` exceeds
     /// the remaining budget; the controller state is unchanged.
-    pub fn try_admit(&mut self, name: &str, workload: &Workload) -> Result<Admission, AdmissionError> {
+    pub fn try_admit(
+        &mut self,
+        name: &str,
+        workload: &Workload,
+    ) -> Result<Admission, AdmissionError> {
         let planner = CapacityPlanner::new(workload, self.target.deadline());
         let provision = planner.provision(self.target);
         let required = provision.total().get();
@@ -162,13 +166,10 @@ mod tests {
     }
 
     fn smooth_client(rate_per_10ms: u64, n: u64) -> Workload {
-        Workload::from_arrivals(
-            (0..n).flat_map(|i| {
-                (0..rate_per_10ms).map(move |j| {
-                    SimTime::from_millis(i * 10) + SimDuration::from_micros(j * 100)
-                })
-            }),
-        )
+        Workload::from_arrivals((0..n).flat_map(|i| {
+            (0..rate_per_10ms)
+                .map(move |j| SimTime::from_millis(i * 10) + SimDuration::from_micros(j * 100))
+        }))
     }
 
     #[test]

@@ -100,8 +100,7 @@ impl ConsolidationStudy {
     pub fn actual(&self, clients: &[&Workload]) -> Iops {
         assert!(!clients.is_empty(), "at least one client is required");
         let merged = merge_all(clients);
-        CapacityPlanner::new(&merged, self.target.deadline())
-            .min_capacity(self.target.fraction())
+        CapacityPlanner::new(&merged, self.target.deadline()).min_capacity(self.target.fraction())
     }
 
     /// Computes both sides of the comparison.

@@ -145,11 +145,7 @@ mod tests {
         arrivals.extend(vec![ms(111); 20]);
         let w = Workload::from_arrivals(arrivals);
         let c = FixedRateServer::new(Iops::new(150.0));
-        let edf = simulate(
-            &w,
-            EdfScheduler::new(dms(20), LatePolicy::Serve),
-            c,
-        );
+        let edf = simulate(&w, EdfScheduler::new(dms(20), LatePolicy::Serve), c);
         let fcfs = simulate(&w, gqos_sim::FcfsScheduler::new(), c);
         assert_eq!(edf.records().len(), fcfs.records().len());
         for (a, b) in edf.records().iter().zip(fcfs.records()) {
@@ -197,10 +193,7 @@ mod tests {
         );
         let miser = simulate(
             &w,
-            MiserScheduler::new(
-                Provision::new(Iops::new(150.0), Iops::new(50.0)),
-                delta,
-            ),
+            MiserScheduler::new(Provision::new(Iops::new(150.0), Iops::new(50.0)), delta),
             FixedRateServer::new(Iops::new(200.0)),
         );
         assert!(shed.unfinished() > 0);

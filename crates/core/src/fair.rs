@@ -214,11 +214,7 @@ mod tests {
     #[test]
     fn custom_flow_scheduler_is_supported() {
         let p = Provision::new(Iops::new(100.0), Iops::new(20.0));
-        let s = FairQueueScheduler::with_flow_scheduler(
-            p,
-            dms(20),
-            Wf2q::new(&p.weights()),
-        );
+        let s = FairQueueScheduler::with_flow_scheduler(p, dms(20), Wf2q::new(&p.weights()));
         let w = Workload::from_arrivals(vec![ms(0); 5]);
         let report = simulate(&w, s, FixedRateServer::new(p.total()));
         assert_eq!(report.completed(), 5);

@@ -20,9 +20,9 @@ use std::fmt;
 
 use gqos_fairqueue::{FlowId, FlowScheduler, Sfq};
 use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
-use gqos_trace::{Iops, Request, SimTime};
 #[cfg(test)]
 use gqos_trace::SimDuration;
+use gqos_trace::{Iops, Request, SimTime};
 
 use crate::cascade::CascadeLevel;
 
@@ -151,8 +151,7 @@ impl Scheduler for GraduatedScheduler {
                 return;
             }
         }
-        self.flows
-            .enqueue(FlowId::new(self.levels.len()), request);
+        self.flows.enqueue(FlowId::new(self.levels.len()), request);
     }
 
     fn next_for(&mut self, _server: ServerId, _now: SimTime) -> Dispatch {

@@ -72,15 +72,18 @@ mod tenant;
 
 pub use admission::{Admission, AdmissionController, AdmissionError};
 pub use cascade::{CascadeDecomposer, CascadeDecomposition, CascadeLevel};
-pub use edf::{EdfScheduler, LatePolicy};
 pub use consolidate::{merge_all, ConsolidationReport, ConsolidationStudy};
+pub use edf::{EdfScheduler, LatePolicy};
 pub use fair::FairQueueScheduler;
 pub use graduated::GraduatedScheduler;
 pub use miser::MiserScheduler;
 pub use offline::{rtt_period_bound, slotted_lower_bound, OptimalityCheck};
 pub use planner::{CapacityPlanner, SlaQuote};
 pub use pricing::{PricingModel, Quote};
-pub use rtt::{decompose, optimal_drop_lower_bound, Decomposition, RttClassifier};
+pub use rtt::{
+    decompose, decompose_with_budget, optimal_drop_lower_bound, within_miss_budget, Decomposition,
+    RttClassifier,
+};
 pub use shaper::{RecombinePolicy, WorkloadShaper};
 pub use sla::{sla_from_fractions, SlaDistribution, SlaVerification, TargetOutcome};
 pub use split::{SplitScheduler, SPLIT_OVERFLOW_SERVER, SPLIT_PRIMARY_SERVER};

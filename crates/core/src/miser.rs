@@ -259,7 +259,7 @@ mod tests {
         // serves it immediately because slack >= 1.
         let p = Provision::new(Iops::new(100.0), Iops::new(100.0));
         let mut s = MiserScheduler::new(p, dms(50)); // maxQ1 = 5
-        // Two primaries (slack 4 and 3), then force an overflow by filling.
+                                                     // Two primaries (slack 4 and 3), then force an overflow by filling.
         for _ in 0..2 {
             s.on_arrival(Request::at(ms(0)), ms(0));
         }
@@ -283,14 +283,14 @@ mod tests {
         let p = Provision::new(Iops::new(100.0), Iops::new(100.0));
         let mut s = MiserScheduler::new(p, dms(50)); // maxQ1 = 5
         s.on_arrival(Request::at(ms(0)), ms(0)); // primary, slack 4
-        // Saturate then drain to create a queued overflow with slack left:
-        // easiest is to inject directly into q2 via classification overflow.
+                                                 // Saturate then drain to create a queued overflow with slack left:
+                                                 // easiest is to inject directly into q2 via classification overflow.
         for _ in 0..4 {
             s.on_arrival(Request::at(ms(0)), ms(0));
         }
         s.on_arrival(Request::at(ms(0)), ms(0)); // 6th -> overflow
-        // Complete three primaries to restore slack... but queued slacks are
-        // fixed at admission; serve three primaries first.
+                                                 // Complete three primaries to restore slack... but queued slacks are
+                                                 // fixed at admission; serve three primaries first.
         for _ in 0..3 {
             match s.next_for(ServerId::new(0), ms(1)) {
                 Dispatch::Serve(r, ServiceClass::PRIMARY) => {
@@ -345,6 +345,82 @@ mod tests {
         let report = run(&w, 100.0, 50.0, dms(20)); // maxQ1 = 2
         assert_eq!(report.completed(), 6);
         assert_eq!(report.completed_in(ServiceClass::OVERFLOW), 4);
+    }
+
+    mod slack_audit {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of an adversarial driving sequence.
+        #[derive(Clone, Copy, Debug)]
+        enum Op {
+            /// A new request arrives `gap_ms` after the previous one.
+            Arrive { gap_ms: u64 },
+            /// The server asks for the next request to dispatch.
+            Serve,
+            /// The oldest in-flight request completes.
+            Complete,
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..40).prop_map(|gap_ms| Op::Arrive { gap_ms }),
+                Just(Op::Serve),
+                Just(Op::Complete),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The cached `min_slack` equals the minimum over the queued
+            /// primary slacks after *any* sequence of arrivals, dispatches
+            /// and completions — the bookkeeping never drifts from the
+            /// ground truth it summarises.
+            #[test]
+            fn cached_min_slack_matches_recomputation(
+                ops in prop::collection::vec(op(), 1..200),
+                cmin in 60u64..400,
+                delta_ms in 10u64..60,
+            ) {
+                let c = Iops::new(cmin as f64);
+                let delta = dms(delta_ms);
+                if c.requests_within(delta) == 0 {
+                    return Ok(());
+                }
+                let p = Provision::new(c, c);
+                let mut s = MiserScheduler::new(p, delta);
+                let mut now = SimTime::ZERO;
+                let mut in_flight: std::collections::VecDeque<(Request, ServiceClass)> =
+                    std::collections::VecDeque::new();
+                for op in ops {
+                    match op {
+                        Op::Arrive { gap_ms } => {
+                            now += SimDuration::from_millis(gap_ms);
+                            s.on_arrival(Request::at(now), now);
+                        }
+                        Op::Serve => {
+                            if let Dispatch::Serve(r, class) =
+                                s.next_for(ServerId::new(0), now)
+                            {
+                                in_flight.push_back((r, class));
+                            }
+                        }
+                        Op::Complete => {
+                            if let Some((r, class)) = in_flight.pop_front() {
+                                s.on_completion(&r, class, now);
+                            }
+                        }
+                    }
+                    let truth = s.q1.iter().map(|&(_, slack)| slack).min();
+                    prop_assert_eq!(
+                        s.min_slack(), truth,
+                        "cached min_slack diverged after {:?}: cached {:?}, actual {:?}",
+                        op, s.min_slack(), truth
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -174,7 +174,11 @@ impl fmt::Display for OptimalityCheck {
             "RTT dropped {} vs lower bound {} ({})",
             self.rtt_dropped,
             self.lower_bound,
-            if self.is_tight() { "tight" } else { "loose bound" }
+            if self.is_tight() {
+                "tight"
+            } else {
+                "loose bound"
+            }
         )
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 
 use gqos_trace::{Iops, SimDuration, Workload};
 
-use crate::rtt::decompose;
+use crate::rtt::{decompose, within_miss_budget};
 use crate::target::{Provision, QosTarget};
 
 /// Plans capacity for one workload at a fixed deadline.
@@ -62,13 +62,43 @@ impl<'w> CapacityPlanner<'w> {
     /// The minimum integer capacity (IOPS) guaranteeing at least `fraction`
     /// of the workload within the deadline — `Cmin(f, δ)`.
     ///
-    /// Converges by binary search in `O(log C)` RTT evaluations, as in the
-    /// paper.
+    /// Converges by doubling plus binary search in `O(log C)` RTT probes,
+    /// as in the paper. Each probe is budget-bounded
+    /// ([`within_miss_budget`]): it aborts as soon as the overflow count
+    /// exceeds the miss budget `N − ⌈f·N⌉`, so failing probes (most of the
+    /// search) touch only a prefix of the trace.
     ///
     /// # Panics
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn min_capacity(&self, fraction: f64) -> Iops {
+        Iops::new(self.search_cmin(fraction, None) as f64)
+    }
+
+    /// The miss budget for `fraction` over this workload: the largest
+    /// overflow count that still leaves a primary fraction of at least
+    /// `fraction` under the exact `primary/total >= fraction` comparison
+    /// [`fraction_guaranteed`](Self::fraction_guaranteed) performs.
+    fn miss_budget(&self, fraction: f64) -> u64 {
+        let total = self.workload.len() as u64;
+        // Smallest integer `need` with need/total >= fraction, adjusted to
+        // match f64 division exactly so budget probes and fraction
+        // comparisons can never disagree.
+        let mut need = ((fraction * total as f64).ceil() as u64).min(total);
+        while need > 0 && (need - 1) as f64 / total as f64 >= fraction {
+            need -= 1;
+        }
+        while need < total && (need as f64) / (total as f64) < fraction {
+            need += 1;
+        }
+        total - need
+    }
+
+    /// Core capacity search. `warm` is a known lower bracket: a capacity
+    /// that is minimal for some fraction `f' <= fraction` (so `Cmin` here
+    /// is at least `warm`, and `warm − 1` cannot meet the target). The
+    /// menu sweep threads each result into the next fraction's search.
+    fn search_cmin(&self, fraction: f64, warm: Option<u64>) -> u64 {
         assert!(
             fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0, 1]: {fraction}"
@@ -76,24 +106,28 @@ impl<'w> CapacityPlanner<'w> {
         // Smallest capacity with a non-degenerate RTT bound: C·δ ≥ 1.
         let floor = (1.0 / self.deadline.as_secs_f64()).ceil().max(1.0) as u64;
         if self.workload.is_empty() {
-            return Iops::new(floor as f64);
+            return floor;
         }
 
-        let meets = |c: u64| self.fraction_guaranteed(Iops::new(c as f64)) >= fraction;
+        let budget = self.miss_budget(fraction);
+        let meets =
+            |c: u64| within_miss_budget(self.workload, Iops::new(c as f64), self.deadline, budget);
 
-        // Grow an upper bound by doubling. The peak burst bounds this:
-        // N simultaneous requests need at most N/δ.
-        let mut hi = floor.max(self.workload.mean_iops().ceil() as u64).max(1);
+        // `start` is the least capacity Cmin could be: the domain floor, or
+        // the warm bracket from an easier fraction.
+        let start = warm.map_or(floor, |w| w.max(floor));
+        if meets(start) {
+            return start;
+        }
+
+        // Grow an upper bound by doubling, keeping the last failing
+        // capacity as the lower bracket. The peak burst bounds this: N
+        // simultaneous requests need at most N/δ.
+        let mut lo = start; // invariant: lo fails, hi meets
+        let mut hi = start.max(self.workload.mean_iops().ceil() as u64).max(1);
         while !meets(hi) {
+            lo = hi;
             hi = hi.checked_mul(2).expect("capacity search overflow");
-        }
-        if hi == floor {
-            return Iops::new(floor as f64);
-        }
-
-        let mut lo = floor; // invariant: hi meets, lo may not
-        if meets(lo) {
-            return Iops::new(lo as f64);
         }
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
@@ -103,7 +137,7 @@ impl<'w> CapacityPlanner<'w> {
                 lo = mid;
             }
         }
-        Iops::new(hi as f64)
+        hi
     }
 
     /// The full provision for a target: `Cmin(f, δ)` plus the default
@@ -123,13 +157,31 @@ impl<'w> CapacityPlanner<'w> {
 
     /// Evaluates `Cmin` for each fraction, producing one row of the paper's
     /// Table 1.
+    ///
+    /// The fractions are swept in ascending order (results are returned in
+    /// input order regardless): because `Cmin` is monotone in `f`, each
+    /// result warm-starts the next search's lower bracket, so the sweep
+    /// does one doubling phase for the whole row instead of one per entry.
     pub fn menu(&self, fractions: &[f64]) -> Vec<SlaQuote> {
-        fractions
-            .iter()
-            .map(|&f| SlaQuote {
-                target: QosTarget::new(f, self.deadline),
-                cmin: self.min_capacity(f),
-            })
+        let mut order: Vec<usize> = (0..fractions.len()).collect();
+        order.sort_by(|&a, &b| {
+            fractions[a]
+                .partial_cmp(&fractions[b])
+                .expect("menu fraction must not be NaN")
+        });
+        let mut quotes: Vec<Option<SlaQuote>> = vec![None; fractions.len()];
+        let mut warm = None;
+        for &i in &order {
+            let cmin = self.search_cmin(fractions[i], warm);
+            warm = Some(cmin);
+            quotes[i] = Some(SlaQuote {
+                target: QosTarget::new(fractions[i], self.deadline),
+                cmin: Iops::new(cmin as f64),
+            });
+        }
+        quotes
+            .into_iter()
+            .map(|q| q.expect("every entry filled"))
             .collect()
     }
 }

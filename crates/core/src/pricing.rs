@@ -77,7 +77,12 @@ impl PricingModel {
     }
 
     /// Prices a menu of guaranteed fractions at a fixed deadline.
-    pub fn menu(&self, workload: &Workload, deadline: SimDuration, fractions: &[f64]) -> Vec<Quote> {
+    pub fn menu(
+        &self,
+        workload: &Workload,
+        deadline: SimDuration,
+        fractions: &[f64],
+    ) -> Vec<Quote> {
         fractions
             .iter()
             .map(|&f| self.quote(workload, QosTarget::new(f, deadline)))
@@ -86,12 +91,7 @@ impl PricingModel {
 
     /// The *burst premium*: what full coverage costs over covering only a
     /// fraction `fraction` — the money the tail wags out of the client.
-    pub fn burst_premium(
-        &self,
-        workload: &Workload,
-        deadline: SimDuration,
-        fraction: f64,
-    ) -> f64 {
+    pub fn burst_premium(&self, workload: &Workload, deadline: SimDuration, fraction: f64) -> f64 {
         let full = self.quote(workload, QosTarget::full(deadline));
         let partial = self.quote(workload, QosTarget::new(fraction, deadline));
         full.monthly_cost - partial.monthly_cost

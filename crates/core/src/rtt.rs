@@ -245,17 +245,127 @@ impl fmt::Display for Decomposition {
 /// assert_eq!(d.overflow_count(), 1);
 /// ```
 pub fn decompose(workload: &Workload, capacity: Iops, deadline: SimDuration) -> Decomposition {
-    let mut rtt = RttClassifier::new(capacity, deadline);
-    let service = capacity.service_time().max(SimDuration::from_nanos(1));
     let mut assignments = Vec::with_capacity(workload.len());
     let mut primary = 0u64;
     let mut overflow = 0u64;
+    rtt_scan(workload, capacity, deadline, |class| {
+        match class {
+            ServiceClass::PRIMARY => primary += 1,
+            _ => overflow += 1,
+        }
+        assignments.push(class);
+        true
+    });
+    Decomposition {
+        assignments,
+        primary,
+        overflow,
+        capacity,
+        deadline,
+    }
+}
 
-    // Emulate the dedicated primary server's completions: while busy it
-    // finishes one request every `service`; `next_done` is the completion
-    // instant of the request at the head of Q1.
+/// Like [`decompose`], but aborts as soon as the overflow count exceeds
+/// `budget` (the planner's miss budget `N − ⌈f·N⌉`), returning `None`.
+///
+/// When it returns `Some`, the decomposition is identical to what
+/// [`decompose`] produces and its overflow count is at most `budget`. The
+/// early exit is what makes the capacity search cheap on failing probes: a
+/// capacity far below `Cmin` diverts requests from the start of the trace,
+/// so the probe touches only a small prefix instead of scanning all `N`
+/// requests.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see [`RttClassifier::new`]).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{decompose, decompose_with_budget};
+/// use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+///
+/// let w = Workload::from_arrivals(vec![SimTime::ZERO; 3]);
+/// let (c, d) = (Iops::new(100.0), SimDuration::from_millis(20));
+/// // Capacity for two of three: one overflow.
+/// assert!(decompose_with_budget(&w, c, d, 0).is_none());
+/// let full = decompose_with_budget(&w, c, d, 1).expect("within budget");
+/// assert_eq!(full.assignments(), decompose(&w, c, d).assignments());
+/// ```
+pub fn decompose_with_budget(
+    workload: &Workload,
+    capacity: Iops,
+    deadline: SimDuration,
+    budget: u64,
+) -> Option<Decomposition> {
+    let mut assignments = Vec::with_capacity(workload.len());
+    let mut primary = 0u64;
+    let mut overflow = 0u64;
+    let complete = rtt_scan(workload, capacity, deadline, |class| {
+        match class {
+            ServiceClass::PRIMARY => primary += 1,
+            _ => {
+                overflow += 1;
+                if overflow > budget {
+                    return false;
+                }
+            }
+        }
+        assignments.push(class);
+        true
+    });
+    complete.then_some(Decomposition {
+        assignments,
+        primary,
+        overflow,
+        capacity,
+        deadline,
+    })
+}
+
+/// Counting-only budget probe: does RTT at this capacity divert at most
+/// `budget` requests? Equivalent to
+/// `decompose_with_budget(..).is_some()` without allocating the
+/// per-request assignment vector — the planner's inner-loop primitive.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see [`RttClassifier::new`]).
+pub fn within_miss_budget(
+    workload: &Workload,
+    capacity: Iops,
+    deadline: SimDuration,
+    budget: u64,
+) -> bool {
+    let mut overflow = 0u64;
+    rtt_scan(workload, capacity, deadline, |class| {
+        if class != ServiceClass::PRIMARY {
+            overflow += 1;
+            if overflow > budget {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// Algorithm 1's scan loop, shared by every decomposition entry point:
+/// emulates the dedicated primary server's completions and hands each
+/// request's class to `visit`. Stops (returning `false`) when `visit`
+/// declines to continue.
+#[inline]
+fn rtt_scan(
+    workload: &Workload,
+    capacity: Iops,
+    deadline: SimDuration,
+    mut visit: impl FnMut(ServiceClass) -> bool,
+) -> bool {
+    let mut rtt = RttClassifier::new(capacity, deadline);
+    let service = capacity.service_time().max(SimDuration::from_nanos(1));
+    // While busy the primary server finishes one request every `service`;
+    // `next_done` is the completion instant of the request at the head of
+    // Q1.
     let mut next_done = SimTime::ZERO;
-
     for r in workload.iter() {
         // Drain completions up to this arrival.
         while rtt.len_q1() > 0 && next_done <= r.arrival {
@@ -267,31 +377,17 @@ pub fn decompose(workload: &Workload, capacity: Iops, deadline: SimDuration) -> 
             // arrival.
             next_done = r.arrival + service;
         }
-        let class = rtt.classify();
-        match class {
-            ServiceClass::PRIMARY => primary += 1,
-            _ => overflow += 1,
+        if !visit(rtt.classify()) {
+            return false;
         }
-        assignments.push(class);
     }
-
-    Decomposition {
-        assignments,
-        primary,
-        overflow,
-        capacity,
-        deadline,
-    }
+    true
 }
 
 /// The smallest number of requests that must be diverted at this capacity
 /// and deadline by *any* algorithm — the paper's Lemma 1 bound, summed over
 /// busy periods. RTT achieves this bound (Lemmas 2–3).
-pub fn optimal_drop_lower_bound(
-    workload: &Workload,
-    capacity: Iops,
-    deadline: SimDuration,
-) -> u64 {
+pub fn optimal_drop_lower_bound(workload: &Workload, capacity: Iops, deadline: SimDuration) -> u64 {
     gqos_trace::ServiceAnalysis::new(workload, capacity, deadline).lower_bound_misses()
 }
 

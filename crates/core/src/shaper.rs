@@ -6,9 +6,7 @@
 
 use std::fmt;
 
-use gqos_sim::{
-    FcfsScheduler, FixedRateServer, RunReport, ServiceClass, Simulation,
-};
+use gqos_sim::{FcfsScheduler, FixedRateServer, RunReport, ServiceClass, Simulation};
 use gqos_trace::{SimDuration, Workload};
 
 use crate::fair::FairQueueScheduler;
@@ -255,10 +253,8 @@ mod tests {
     #[test]
     fn run_all_covers_every_policy() {
         let w = Workload::from_arrivals(vec![ms(0); 5]);
-        let shaper = WorkloadShaper::new(
-            Provision::new(Iops::new(200.0), Iops::new(100.0)),
-            dms(20),
-        );
+        let shaper =
+            WorkloadShaper::new(Provision::new(Iops::new(200.0), Iops::new(100.0)), dms(20));
         let all = shaper.run_all(&w);
         assert_eq!(all.len(), 4);
         for (policy, report) in &all {
@@ -278,10 +274,8 @@ mod tests {
 
     #[test]
     fn shaper_display() {
-        let shaper = WorkloadShaper::new(
-            Provision::new(Iops::new(328.0), Iops::new(20.0)),
-            dms(50),
-        );
+        let shaper =
+            WorkloadShaper::new(Provision::new(Iops::new(328.0), Iops::new(20.0)), dms(50));
         assert!(shaper.to_string().contains("328"));
         assert_eq!(shaper.guaranteed_class(), ServiceClass::PRIMARY);
     }

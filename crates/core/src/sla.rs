@@ -162,12 +162,7 @@ impl fmt::Display for SlaVerification {
 /// cascade is designed to deliver, from its levels' cumulative coverage of
 /// a specific workload decomposition.
 pub fn sla_from_fractions(pairs: &[(f64, SimDuration)]) -> SlaDistribution {
-    SlaDistribution::new(
-        pairs
-            .iter()
-            .map(|&(f, d)| QosTarget::new(f, d))
-            .collect(),
-    )
+    SlaDistribution::new(pairs.iter().map(|&(f, d)| QosTarget::new(f, d)).collect())
 }
 
 #[cfg(test)]
@@ -191,7 +186,11 @@ mod tests {
     fn met_sla_verifies_clean() {
         // A lightly loaded FCFS server: everything is fast.
         let w = Workload::from_arrivals((0..100).map(|i| SimTime::from_millis(i * 20)));
-        let report = simulate(&w, gqos_sim::FcfsScheduler::new(), FixedRateServer::new(Iops::new(200.0)));
+        let report = simulate(
+            &w,
+            gqos_sim::FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(200.0)),
+        );
         let v = sla().verify(&report);
         assert!(v.all_met(), "{v}");
         assert!(v.violations().is_empty());
@@ -203,20 +202,27 @@ mod tests {
     fn violated_sla_reports_the_shortfall() {
         // A deep burst on a small server: the 90%-in-20ms target fails.
         let w = Workload::from_arrivals(vec![SimTime::ZERO; 50]);
-        let report = simulate(&w, gqos_sim::FcfsScheduler::new(), FixedRateServer::new(Iops::new(100.0)));
+        let report = simulate(
+            &w,
+            gqos_sim::FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+        );
         let v = sla().verify(&report);
         assert!(!v.all_met());
         let violations = v.violations();
         assert!(!violations.is_empty());
-        assert!(v.worst_shortfall() > 0.5, "shortfall {}", v.worst_shortfall());
+        assert!(
+            v.worst_shortfall() > 0.5,
+            "shortfall {}",
+            v.worst_shortfall()
+        );
         assert!(v.to_string().contains("VIOLATED"));
     }
 
     #[test]
     fn shaped_run_meets_its_planned_distribution() {
         use crate::{QosTarget as T, RecombinePolicy, WorkloadShaper};
-        let mut arrivals: Vec<SimTime> =
-            (0..300).map(|i| SimTime::from_millis(i * 10)).collect();
+        let mut arrivals: Vec<SimTime> = (0..300).map(|i| SimTime::from_millis(i * 10)).collect();
         arrivals.extend(vec![SimTime::from_millis(777); 30]);
         let w = Workload::from_arrivals(arrivals);
         let shaper = WorkloadShaper::plan(&w, T::new(0.90, dms(20)));

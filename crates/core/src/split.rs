@@ -133,7 +133,12 @@ mod tests {
         SimDuration::from_millis(v)
     }
 
-    fn run(workload: &Workload, cmin: f64, delta_c: f64, deadline: SimDuration) -> gqos_sim::RunReport {
+    fn run(
+        workload: &Workload,
+        cmin: f64,
+        delta_c: f64,
+        deadline: SimDuration,
+    ) -> gqos_sim::RunReport {
         let p = Provision::new(Iops::new(cmin), Iops::new(delta_c));
         Simulation::new(workload, SplitScheduler::new(p, deadline))
             .server(FixedRateServer::new(p.cmin()))

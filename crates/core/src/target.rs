@@ -121,12 +121,7 @@ impl Provision {
 
 impl fmt::Display for Provision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.0}+{:.0} IOPS",
-            self.cmin.get(),
-            self.delta_c.get()
-        )
+        write!(f, "{:.0}+{:.0} IOPS", self.cmin.get(), self.delta_c.get())
     }
 }
 
@@ -180,16 +175,10 @@ mod tests {
     #[test]
     fn default_surplus_is_inverse_deadline() {
         // δ = 50 ms -> ΔC = 20 IOPS, matching the paper's Figure 6 setup.
-        let p = Provision::with_default_surplus(
-            Iops::new(328.0),
-            SimDuration::from_millis(50),
-        );
+        let p = Provision::with_default_surplus(Iops::new(328.0), SimDuration::from_millis(50));
         assert!((p.delta_c().get() - 20.0).abs() < 1e-9);
         // δ = 10 ms -> ΔC = 100 IOPS.
-        let p = Provision::with_default_surplus(
-            Iops::new(410.0),
-            SimDuration::from_millis(10),
-        );
+        let p = Provision::with_default_surplus(Iops::new(410.0), SimDuration::from_millis(10));
         assert!((p.delta_c().get() - 100.0).abs() < 1e-9);
     }
 }

@@ -265,9 +265,7 @@ impl Scheduler for MultiTenantScheduler {
         let leaf = usize::from(class != ServiceClass::PRIMARY);
         match &mut self.flows {
             FlowPlan::Flat(sfq) => sfq.enqueue(FlowId::new(t * 2 + leaf), request),
-            FlowPlan::Hierarchical(h) => {
-                h.enqueue_leaf(LeafId { group: t, leaf }, request)
-            }
+            FlowPlan::Hierarchical(h) => h.enqueue_leaf(LeafId { group: t, leaf }, request),
         }
     }
 
@@ -350,14 +348,14 @@ mod tests {
         )
     }
 
-    fn run(
-        workloads: &[&Workload],
-        configs: Vec<TenantConfig>,
-        capacity: f64,
-    ) -> RunReport {
+    fn run(workloads: &[&Workload], configs: Vec<TenantConfig>, capacity: f64) -> RunReport {
         let (merged, owners) = merge_tenants(workloads);
         let scheduler = MultiTenantScheduler::new(configs, owners);
-        simulate(&merged, scheduler, FixedRateServer::new(Iops::new(capacity)))
+        simulate(
+            &merged,
+            scheduler,
+            FixedRateServer::new(Iops::new(capacity)),
+        )
     }
 
     #[test]
@@ -472,9 +470,8 @@ mod tests {
         let share_of_tenant0 = |hier: bool| -> f64 {
             let burst0 = Workload::from_arrivals(vec![ms(0); 300]);
             // 400/s offered: tenant 1's primary flow stays backlogged.
-            let w1 = Workload::from_arrivals(
-                (0..800).map(|i| SimTime::from_micros(i as u64 * 2500)),
-            );
+            let w1 =
+                Workload::from_arrivals((0..800).map(|i| SimTime::from_micros(i as u64 * 2500)));
             let (merged, owners) = merge_tenants(&[&burst0, &w1]);
             let cfg0 = config(180.0, 20.0, 10); // maxQ1 = 1: all overflow
             let cfg1 = config(180.0, 20.0, 100); // maxQ1 = 18: all primary
@@ -511,10 +508,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown tenant")]
     fn owner_table_validated() {
-        let _ = MultiTenantScheduler::new(
-            vec![config(100.0, 10.0, 20)],
-            vec![TenantId::new(5)],
-        );
+        let _ = MultiTenantScheduler::new(vec![config(100.0, 10.0, 20)], vec![TenantId::new(5)]);
     }
 
     #[test]
@@ -525,10 +519,6 @@ mod tests {
         let scheduler = MultiTenantScheduler::new(vec![config(100.0, 10.0, 20)], owners);
         // A two-request workload was never merged: the second id is unknown.
         let w = Workload::from_arrivals([ms(0), ms(1)]);
-        let _ = simulate(
-            &w,
-            scheduler,
-            FixedRateServer::new(Iops::new(100.0)),
-        );
+        let _ = simulate(&w, scheduler, FixedRateServer::new(Iops::new(100.0)));
     }
 }

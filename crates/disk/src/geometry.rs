@@ -157,15 +157,13 @@ mod tests {
         let g = DiskGeometry::new(10, 1, 100, 512, 7_200);
         // 7200 RPM -> 8.33 ms per rotation.
         assert!((g.rotation_time().as_millis_f64() - 8.3333).abs() < 0.001);
-        assert!(
-            (g.average_rotational_latency().as_millis_f64() - 4.1666).abs() < 0.001
-        );
+        assert!((g.average_rotational_latency().as_millis_f64() - 4.1666).abs() < 0.001);
     }
 
     #[test]
     fn transfer_scales_with_bytes() {
         let g = DiskGeometry::new(10, 1, 128, 512, 6_000); // 10 ms rotation
-        // A full track (65536 bytes) takes one rotation.
+                                                           // A full track (65536 bytes) takes one rotation.
         assert_eq!(g.transfer_time(65_536), SimDuration::from_millis(10));
         assert_eq!(g.transfer_time(32_768), SimDuration::from_millis(5));
         assert!(g.transfer_time(512) < g.transfer_time(4096));

@@ -210,7 +210,9 @@ mod tests {
         let n = 200u64;
         let mut lba = 12345u64;
         for _ in 0..n {
-            lba = lba.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lba = lba
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sum += disk.service_time(&req_at_block(lba % total), SimTime::ZERO);
         }
         let mean_ms = sum.as_millis_f64() / n as f64;
@@ -246,7 +248,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut disk = DiskModel::builder().cache(0.3, SimDuration::from_micros(50)).seed(seed).build();
+            let mut disk = DiskModel::builder()
+                .cache(0.3, SimDuration::from_micros(50))
+                .seed(seed)
+                .build();
             (0..50u64)
                 .map(|i| disk.service_time(&req_at_block(i * 777_777), SimTime::ZERO))
                 .collect::<Vec<_>>()
@@ -263,7 +268,9 @@ mod tests {
 
     #[test]
     fn display_mentions_cache() {
-        let disk = DiskModel::builder().cache(0.25, SimDuration::from_micros(50)).build();
+        let disk = DiskModel::builder()
+            .cache(0.25, SimDuration::from_micros(50))
+            .build();
         assert!(disk.to_string().contains("cache 25%"));
     }
 }

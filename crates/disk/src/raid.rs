@@ -180,10 +180,7 @@ mod tests {
             .iter()
             .map(|&l| single.service_time(&read_at(l), SimTime::ZERO))
             .sum();
-        let mut array = StripedArray::new(
-            (0..4).map(|i| small_disk(10 + i)).collect(),
-            100,
-        );
+        let mut array = StripedArray::new((0..4).map(|i| small_disk(10 + i)).collect(), 100);
         let array_total: SimDuration = lbas
             .iter()
             .map(|&l| array.service_time(&read_at(l), SimTime::ZERO))

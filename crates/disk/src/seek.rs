@@ -31,7 +31,10 @@ impl Default for SeekProfile {
     /// A 15 kRPM enterprise profile: 0.4 ms track-to-track, 7.5 ms full
     /// stroke.
     fn default() -> Self {
-        SeekProfile::new(SimDuration::from_micros(400), SimDuration::from_micros(7_500))
+        SeekProfile::new(
+            SimDuration::from_micros(400),
+            SimDuration::from_micros(7_500),
+        )
     }
 }
 

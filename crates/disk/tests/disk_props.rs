@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use gqos_disk::{
-    CachedDisk, DiskGeometry, DiskModel, ScanScheduler, SeekProfile, SstfScheduler,
-    StripedArray, SweepMode,
+    CachedDisk, DiskGeometry, DiskModel, ScanScheduler, SeekProfile, SstfScheduler, StripedArray,
+    SweepMode,
 };
 use gqos_sim::{simulate, Scheduler, ServiceModel};
 use gqos_trace::{Iops, LogicalBlock, Request, SimDuration, SimTime, Workload};

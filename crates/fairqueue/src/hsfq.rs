@@ -96,7 +96,11 @@ impl HierarchicalSfq {
     ///
     /// Panics if the group or leaf index is out of range.
     pub fn enqueue_leaf(&mut self, leaf: LeafId, request: Request) {
-        assert!(leaf.group < self.leaves.len(), "unknown group {}", leaf.group);
+        assert!(
+            leaf.group < self.leaves.len(),
+            "unknown group {}",
+            leaf.group
+        );
         // Group-level accounting: a placeholder carries the same arrival.
         self.groups.enqueue(FlowId::new(leaf.group), request);
         self.leaves[leaf.group].enqueue(FlowId::new(leaf.leaf), request);

@@ -37,10 +37,7 @@ impl FlowSpec {
     /// Panics if `burst` or `rate` is not finite and strictly positive, or
     /// `latency` is zero.
     pub fn new(burst: f64, rate: f64, latency: SimDuration) -> Self {
-        assert!(
-            burst.is_finite() && burst > 0.0,
-            "invalid burst: {burst}"
-        );
+        assert!(burst.is_finite() && burst > 0.0, "invalid burst: {burst}");
         assert!(rate.is_finite() && rate > 0.0, "invalid rate: {rate}");
         assert!(!latency.is_zero(), "latency bound must be positive");
         FlowSpec {
@@ -161,8 +158,7 @@ impl FlowScheduler for PClock {
             now + state.spec.latency
         } else {
             let deficit = 1.0 - state.tokens;
-            now + state.spec.latency
-                + SimDuration::from_secs_f64(deficit / state.spec.rate)
+            now + state.spec.latency + SimDuration::from_secs_f64(deficit / state.spec.rate)
         };
         state.tokens -= 1.0;
         state.queue.push_back((request, deadline));
@@ -354,15 +350,11 @@ mod tests {
         let mut requests = Vec::new();
         // Tenant 0: every 20 ms for 2 s (block 0 -> flow 0).
         for i in 0..100u64 {
-            requests.push(
-                Request::at(ms(i * 20)).with_block(gqos_trace::LogicalBlock::new(0)),
-            );
+            requests.push(Request::at(ms(i * 20)).with_block(gqos_trace::LogicalBlock::new(0)));
         }
         // Tenant 1: a 150-deep burst at t = 100 ms (block 1 -> flow 1).
         for _ in 0..150 {
-            requests.push(
-                Request::at(ms(100)).with_block(gqos_trace::LogicalBlock::new(1)),
-            );
+            requests.push(Request::at(ms(100)).with_block(gqos_trace::LogicalBlock::new(1)));
         }
         let w = Workload::from_requests(requests);
         let scheduler = TwoTenant {
@@ -405,7 +397,9 @@ mod tests {
     fn display_and_len() {
         let mut p = PClock::new(vec![FlowSpec::new(1.0, 1.0, dms(1))]);
         assert!(p.to_string().contains("pClock"));
-        assert!(FlowSpec::new(1.0, 2.0, dms(3)).to_string().contains("sigma"));
+        assert!(FlowSpec::new(1.0, 2.0, dms(3))
+            .to_string()
+            .contains("sigma"));
         assert_eq!(p.flows(), 1);
         p.enqueue(FlowId::new(0), at(ms(0)));
         assert_eq!(p.flow_len(FlowId::new(0)), 1);

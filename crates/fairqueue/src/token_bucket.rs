@@ -39,10 +39,7 @@ impl TokenBucket {
     ///
     /// Panics if `rate` or `burst` is not finite and strictly positive.
     pub fn new(rate: f64, burst: f64) -> Self {
-        assert!(
-            rate.is_finite() && rate > 0.0,
-            "invalid token rate: {rate}"
-        );
+        assert!(rate.is_finite() && rate > 0.0, "invalid token rate: {rate}");
         assert!(
             burst.is_finite() && burst > 0.0,
             "invalid bucket depth: {burst}"
@@ -164,10 +161,7 @@ mod tests {
                 conforming += 1;
             }
         }
-        assert!(
-            (100..=115).contains(&conforming),
-            "conforming {conforming}"
-        );
+        assert!((100..=115).contains(&conforming), "conforming {conforming}");
     }
 
     #[test]

@@ -129,7 +129,9 @@ impl FlowScheduler for Wf2q {
             }
         }
         let (i, finish) = best.expect("V >= min start tag implies an eligible flow");
-        let request = self.queues[i].pop_front().expect("eligible flow backlogged");
+        let request = self.queues[i]
+            .pop_front()
+            .expect("eligible flow backlogged");
         // The flow's next head starts where the served request finished.
         self.head_start[i] = finish;
         self.len -= 1;

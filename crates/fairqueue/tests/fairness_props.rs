@@ -9,13 +9,7 @@ use gqos_trace::{Request, SimDuration, SimTime};
 /// interspersed dequeue operations.
 fn arb_script() -> impl Strategy<Value = Vec<Option<usize>>> {
     // Some(flow) = enqueue on flow; None = dequeue.
-    prop::collection::vec(
-        prop_oneof![
-            Just(None),
-            (0usize..2).prop_map(Some),
-        ],
-        1..200,
-    )
+    prop::collection::vec(prop_oneof![Just(None), (0usize..2).prop_map(Some),], 1..200)
 }
 
 /// Runs the script: enqueues carry increasing timestamps. Returns

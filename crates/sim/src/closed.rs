@@ -294,9 +294,7 @@ mod tests {
             ClosedLoopConfig::new(2, dms(10), SimDuration::from_millis(200)),
             FcfsScheduler::new(),
             FixedRateServer::new(Iops::new(1000.0)),
-            |client, t| {
-                Request::at(t).with_block(gqos_trace::LogicalBlock::new(client as u64))
-            },
+            |client, t| Request::at(t).with_block(gqos_trace::LogicalBlock::new(client as u64)),
         );
         assert!(report.completed() > 10);
     }

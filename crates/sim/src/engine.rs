@@ -2,7 +2,7 @@
 
 use gqos_trace::{Request, SimDuration, SimTime, Workload};
 
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, IndexedEventQueue};
 use crate::metrics::{CompletionRecord, RunReport};
 use crate::scheduler::{Dispatch, Scheduler, ServiceClass};
 use crate::server::{ServerId, ServiceModel};
@@ -68,13 +68,46 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
     ///
     /// Panics if no server was added, or if the scheduler requests a retry
     /// at a non-future instant.
-    pub fn run(mut self) -> RunReport {
-        assert!(!self.servers.is_empty(), "simulation needs at least one server");
+    pub fn run(self) -> RunReport {
+        let total = self.workload.len();
+        self.run_with_buffer(Vec::with_capacity(total))
+    }
+
+    /// Like [`run`](Simulation::run), but records completions into
+    /// `records` (cleared first), so sweeps that simulate many workloads
+    /// can recycle one allocation via
+    /// [`RunReport::into_records`]:
+    ///
+    /// ```
+    /// use gqos_sim::{FcfsScheduler, FixedRateServer, Simulation};
+    /// use gqos_trace::{Iops, SimTime, Workload};
+    ///
+    /// let mut buffer = Vec::new();
+    /// for arrivals in [[SimTime::ZERO; 2], [SimTime::from_secs(1); 2]] {
+    ///     let w = Workload::from_arrivals(arrivals);
+    ///     let report = Simulation::new(&w, FcfsScheduler::new())
+    ///         .server(FixedRateServer::new(Iops::new(100.0)))
+    ///         .run_with_buffer(buffer);
+    ///     assert_eq!(report.completed(), 2);
+    ///     buffer = report.into_records();
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server was added, or if the scheduler requests a retry
+    /// at a non-future instant.
+    pub fn run_with_buffer(mut self, mut records: Vec<CompletionRecord>) -> RunReport {
+        assert!(
+            !self.servers.is_empty(),
+            "simulation needs at least one server"
+        );
 
         let requests = self.workload.requests();
         let total = requests.len();
-        let mut records: Vec<CompletionRecord> = Vec::with_capacity(total);
-        let mut queue = EventQueue::new();
+        records.clear();
+        records.reserve(total);
+        let mut queue = IndexedEventQueue::new(self.servers.len());
         // (request, class, dispatch time) in flight per server.
         let mut in_flight: Vec<Option<(Request, ServiceClass, SimTime)>> =
             (0..self.servers.len()).map(|_| None).collect();
@@ -154,7 +187,7 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
         scheduler: &mut S,
         servers: &mut [Box<dyn ServiceModel>],
         in_flight: &mut [Option<(Request, ServiceClass, SimTime)>],
-        queue: &mut EventQueue,
+        queue: &mut IndexedEventQueue,
         server: usize,
         now: SimTime,
     ) {
@@ -227,7 +260,11 @@ mod tests {
     fn fcfs_spaced_arrivals_have_pure_service_latency() {
         // 100 IOPS -> 10 ms service; arrivals 50 ms apart never queue.
         let w = Workload::from_arrivals([ms(0), ms(50), ms(100)]);
-        let report = simulate(&w, FcfsScheduler::new(), FixedRateServer::new(Iops::new(100.0)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+        );
         assert_eq!(report.completed(), 3);
         for r in report.records() {
             assert_eq!(r.response_time(), dur_ms(10));
@@ -239,7 +276,11 @@ mod tests {
     fn fcfs_burst_queues_linearly() {
         // Three simultaneous arrivals at 100 IOPS: completions at 10/20/30 ms.
         let w = Workload::from_arrivals([ms(0), ms(0), ms(0)]);
-        let report = simulate(&w, FcfsScheduler::new(), FixedRateServer::new(Iops::new(100.0)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+        );
         let mut resp: Vec<_> = report.records().iter().map(|r| r.response_time()).collect();
         resp.sort();
         assert_eq!(resp, vec![dur_ms(10), dur_ms(20), dur_ms(30)]);
@@ -250,7 +291,11 @@ mod tests {
     fn arrival_at_completion_instant_sees_free_server() {
         // Service 10 ms; second arrival exactly at first completion: no wait.
         let w = Workload::from_arrivals([ms(0), ms(10)]);
-        let report = simulate(&w, FcfsScheduler::new(), FixedRateServer::new(Iops::new(100.0)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+        );
         for r in report.records() {
             assert_eq!(r.queueing_time(), SimDuration::ZERO);
         }
@@ -259,7 +304,11 @@ mod tests {
     #[test]
     fn empty_workload_finishes_immediately() {
         let w = Workload::new();
-        let report = simulate(&w, FcfsScheduler::new(), FixedRateServer::new(Iops::new(1.0)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(1.0)),
+        );
         assert_eq!(report.completed(), 0);
         assert_eq!(report.total_requests(), 0);
         assert_eq!(report.end_time(), SimTime::ZERO);
@@ -300,7 +349,11 @@ mod tests {
     #[test]
     fn dropped_requests_are_reported_unfinished() {
         let w = Workload::from_arrivals([ms(0), ms(1), ms(2), ms(3)]);
-        let report = simulate(&w, DropHalf::default(), FixedRateServer::new(Iops::new(1000.0)));
+        let report = simulate(
+            &w,
+            DropHalf::default(),
+            FixedRateServer::new(Iops::new(1000.0)),
+        );
         assert_eq!(report.completed(), 2);
         assert_eq!(report.unfinished(), 2);
     }
@@ -373,7 +426,11 @@ mod tests {
         // k-th request's response is k * (service - gap) + service-ish.
         // 1 ms apart, 2 ms service: request k waits ~k ms.
         let w = Workload::from_arrivals((0..10).map(ms));
-        let report = simulate(&w, FcfsScheduler::new(), FixedRateServer::new(Iops::new(500.0)));
+        let report = simulate(
+            &w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(500.0)),
+        );
         let last = report
             .records()
             .iter()

@@ -95,6 +95,166 @@ impl EventQueue {
     }
 }
 
+/// The engine's event queue, specialised to the bounded event population a
+/// simulation actually produces:
+///
+/// - at most **one pending arrival** (the engine schedules arrival `i + 1`
+///   only when it processes arrival `i`),
+/// - at most **one pending completion per server** (a server holds one
+///   in-flight request),
+/// - a small number of **stackable retries per server** (a
+///   non-work-conserving scheduler may re-announce an eligibility time).
+///
+/// Events therefore live in fixed per-server slots instead of a binary
+/// heap: `push` is a store, `pop` is a scan over `O(servers)` slots with no
+/// allocation or sift, and clearing the queue for the next run reuses every
+/// buffer. Pop order is identical to [`EventQueue`] — time, then
+/// [`EventKind`] (completions before retries before arrivals, lower server
+/// index first), then insertion order — which the equivalence test below
+/// checks against the heap implementation on randomised schedules.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{Event, EventKind, IndexedEventQueue};
+/// use gqos_trace::SimTime;
+///
+/// let mut q = IndexedEventQueue::new(1);
+/// q.push(Event { at: SimTime::from_secs(2), kind: EventKind::Arrival { index: 0 } });
+/// q.push(Event { at: SimTime::from_secs(2), kind: EventKind::Completion { server: 0 } });
+/// assert_eq!(q.pop().unwrap().kind, EventKind::Completion { server: 0 });
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IndexedEventQueue {
+    /// Pending completion per server.
+    completions: Vec<Option<SimTime>>,
+    /// Pending retries per server, in insertion order.
+    retries: Vec<Vec<SimTime>>,
+    /// The single pending arrival, if any.
+    arrival: Option<(SimTime, usize)>,
+    len: usize,
+}
+
+impl IndexedEventQueue {
+    /// Creates an empty queue with slots for `servers` servers.
+    pub fn new(servers: usize) -> Self {
+        IndexedEventQueue {
+            completions: vec![None; servers],
+            retries: vec![Vec::new(); servers],
+            arrival: None,
+            len: 0,
+        }
+    }
+
+    /// Empties the queue, keeping its buffers for reuse.
+    pub fn clear(&mut self) {
+        self.completions.fill(None);
+        for r in &mut self.retries {
+            r.clear();
+        }
+        self.arrival = None;
+        self.len = 0;
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's server index is out of range, or if a slot
+    /// that must be unique (a server's completion, the arrival) is already
+    /// occupied — both are engine bookkeeping bugs.
+    pub fn push(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Completion { server } => {
+                let slot = &mut self.completions[server];
+                assert!(slot.is_none(), "server {server} already has a completion");
+                *slot = Some(event.at);
+            }
+            EventKind::Retry { server } => self.retries[server].push(event.at),
+            EventKind::Arrival { index } => {
+                assert!(self.arrival.is_none(), "an arrival is already pending");
+                self.arrival = Some((event.at, index));
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event (see the type docs for the
+    /// tie-break order).
+    pub fn pop(&mut self) -> Option<Event> {
+        // Earliest completion, lowest server index first.
+        let comp = self
+            .completions
+            .iter()
+            .enumerate()
+            .filter_map(|(s, t)| t.map(|t| (t, s)))
+            .min();
+        // Earliest retry: lowest server index breaks time ties (matching
+        // `EventKind`'s derived order), first-inserted breaks ties within
+        // one server.
+        let mut retry: Option<(SimTime, usize, usize)> = None;
+        for (s, times) in self.retries.iter().enumerate() {
+            for (i, &t) in times.iter().enumerate() {
+                if retry.is_none_or(|(bt, _, _)| t < bt) {
+                    retry = Some((t, s, i));
+                }
+            }
+        }
+
+        // Completions beat retries beat arrivals at equal times.
+        let mut best_time = None;
+        if let Some((t, _)) = comp {
+            best_time = Some(t);
+        }
+        if let Some((t, _, _)) = retry {
+            if best_time.is_none_or(|bt| t < bt) {
+                best_time = Some(t);
+            }
+        }
+        if let Some((t, _)) = self.arrival {
+            if best_time.is_none_or(|bt| t < bt) {
+                best_time = Some(t);
+            }
+        }
+        let at = best_time?;
+        self.len -= 1;
+
+        if let Some((t, server)) = comp {
+            if t == at {
+                self.completions[server] = None;
+                return Some(Event {
+                    at,
+                    kind: EventKind::Completion { server },
+                });
+            }
+        }
+        if let Some((t, server, i)) = retry {
+            if t == at {
+                self.retries[server].remove(i);
+                return Some(Event {
+                    at,
+                    kind: EventKind::Retry { server },
+                });
+            }
+        }
+        let (_, index) = self.arrival.take().expect("arrival must be the minimum");
+        Some(Event {
+            at,
+            kind: EventKind::Arrival { index },
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +322,105 @@ mod tests {
         match q.pop().unwrap().kind {
             EventKind::Arrival { index } => assert_eq!(index, 3),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_queue_orders_kinds_at_equal_time() {
+        let mut q = IndexedEventQueue::new(2);
+        q.push(at(5, EventKind::Arrival { index: 0 }));
+        q.push(at(5, EventKind::Retry { server: 1 }));
+        q.push(at(5, EventKind::Retry { server: 0 }));
+        q.push(at(5, EventKind::Completion { server: 1 }));
+        q.push(at(5, EventKind::Completion { server: 0 }));
+        assert_eq!(q.len(), 5);
+        let kinds: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Completion { server: 0 },
+                EventKind::Completion { server: 1 },
+                EventKind::Retry { server: 0 },
+                EventKind::Retry { server: 1 },
+                EventKind::Arrival { index: 0 },
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn indexed_queue_clear_reuses_buffers() {
+        let mut q = IndexedEventQueue::new(1);
+        q.push(at(1, EventKind::Completion { server: 0 }));
+        q.push(at(2, EventKind::Retry { server: 0 }));
+        q.clear();
+        assert!(q.is_empty());
+        // Slots are free again after clear.
+        q.push(at(3, EventKind::Completion { server: 0 }));
+        q.push(at(3, EventKind::Arrival { index: 9 }));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Completion { server: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a completion")]
+    fn indexed_queue_rejects_double_completion() {
+        let mut q = IndexedEventQueue::new(1);
+        q.push(at(1, EventKind::Completion { server: 0 }));
+        q.push(at(2, EventKind::Completion { server: 0 }));
+    }
+
+    /// On any engine-feasible schedule (one arrival slot, one completion
+    /// slot per server, stackable retries) the indexed queue must pop in
+    /// exactly the heap queue's order.
+    #[test]
+    fn indexed_queue_matches_heap_on_random_schedules() {
+        // Small deterministic LCG so this test needs no external RNG.
+        let mut state = 0x3c6e_f372_fe94_f82au64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for servers in 1..4usize {
+            for _round in 0..200 {
+                let mut heap = EventQueue::new();
+                let mut indexed = IndexedEventQueue::new(servers);
+                let mut arrival_used = false;
+                let mut completion_used = vec![false; servers];
+                for _ in 0..12 {
+                    let t = SimTime::from_millis(next(6));
+                    let kind = match next(3) {
+                        0 if !arrival_used => {
+                            arrival_used = true;
+                            EventKind::Arrival {
+                                index: next(10) as usize,
+                            }
+                        }
+                        1 => {
+                            let s = next(servers as u64) as usize;
+                            if completion_used[s] {
+                                continue;
+                            }
+                            completion_used[s] = true;
+                            EventKind::Completion { server: s }
+                        }
+                        _ => EventKind::Retry {
+                            server: next(servers as u64) as usize,
+                        },
+                    };
+                    let e = Event { at: t, kind };
+                    heap.push(e);
+                    indexed.push(e);
+                }
+                loop {
+                    let (a, b) = (heap.pop(), indexed.pop());
+                    assert_eq!(a, b, "queues diverged ({servers} servers)");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
         }
     }
 }

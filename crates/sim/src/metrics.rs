@@ -60,6 +60,12 @@ impl RunReport {
         &self.records
     }
 
+    /// Consumes the report, returning its record buffer so the next run can
+    /// reuse the allocation (see `Simulation::run_with_buffer`).
+    pub fn into_records(self) -> Vec<CompletionRecord> {
+        self.records
+    }
+
     /// Number of requests offered to the scheduler.
     pub fn total_requests(&self) -> usize {
         self.total_requests
@@ -262,8 +268,7 @@ impl ResponseStats {
     pub fn percentile(&self, p: f64) -> SimDuration {
         assert!((0.0..=1.0).contains(&p), "percentile out of range: {p}");
         assert!(!self.sorted.is_empty(), "no samples");
-        let rank = ((p * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 

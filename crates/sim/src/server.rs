@@ -129,7 +129,10 @@ mod tests {
     fn boxed_model_delegates() {
         let mut s: Box<dyn ServiceModel> = Box::new(FixedRateServer::new(Iops::new(500.0)));
         let r = Request::at(SimTime::ZERO);
-        assert_eq!(s.service_time(&r, SimTime::ZERO), SimDuration::from_millis(2));
+        assert_eq!(
+            s.service_time(&r, SimTime::ZERO),
+            SimDuration::from_millis(2)
+        );
         assert!(s.nominal_rate().is_some());
     }
 }

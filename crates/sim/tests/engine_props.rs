@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use gqos_sim::{
-    simulate, FcfsScheduler, FixedRateServer, LatencyHistogram, ResponseStats,
-};
+use gqos_sim::{simulate, FcfsScheduler, FixedRateServer, LatencyHistogram, ResponseStats};
 use gqos_trace::{Iops, SimDuration, SimTime, Workload};
 
 fn arb_arrivals(max: usize) -> impl Strategy<Value = Vec<u64>> {

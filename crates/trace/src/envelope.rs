@@ -127,10 +127,7 @@ mod tests {
     #[test]
     fn empty_workload_needs_no_bucket() {
         assert_eq!(min_burst(&Workload::new(), 10.0), 0.0);
-        assert_eq!(
-            drain_deadline(&Workload::new(), 10.0),
-            SimDuration::ZERO
-        );
+        assert_eq!(drain_deadline(&Workload::new(), 10.0), SimDuration::ZERO);
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl MmppState {
     /// Panics if `rate` is negative/non-finite or `mean_holding` is zero.
     pub fn new(rate: f64, mean_holding: SimDuration) -> Self {
         assert!(rate.is_finite() && rate >= 0.0, "invalid MMPP rate: {rate}");
-        assert!(!mean_holding.is_zero(), "MMPP holding time must be positive");
+        assert!(
+            !mean_holding.is_zero(),
+            "MMPP holding time must be positive"
+        );
         MmppState { rate, mean_holding }
     }
 }
@@ -149,7 +152,11 @@ mod tests {
     fn single_state_behaves_like_poisson() {
         let mut g = MmppGen::new(vec![MmppState::new(500.0, SimDuration::from_secs(1))], 4);
         let w = g.generate(SimDuration::from_secs(60));
-        assert!((w.mean_iops() - 500.0).abs() < 60.0, "mean {}", w.mean_iops());
+        assert!(
+            (w.mean_iops() - 500.0).abs() < 60.0,
+            "mean {}",
+            w.mean_iops()
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl PacedGen {
     ///
     /// Panics if `states` is empty or `jitter` is outside `[0, 1]`.
     pub fn with_mix(states: Vec<MmppState>, jitter: f64, mix: IoMix, seed: u64) -> Self {
-        assert!(!states.is_empty(), "paced generator needs at least one state");
+        assert!(
+            !states.is_empty(),
+            "paced generator needs at least one state"
+        );
         assert!(
             (0.0..=1.0).contains(&jitter),
             "jitter must be in [0, 1]: {jitter}"
@@ -109,7 +112,10 @@ impl ArrivalProcess for PacedGen {
                     };
                     let at = (next + jitter).max(0.0);
                     if at < end_s {
-                        out.push(self.mix.request_at(SimTime::from_secs_f64(at), &mut self.rng));
+                        out.push(
+                            self.mix
+                                .request_at(SimTime::from_secs_f64(at), &mut self.rng),
+                        );
                     }
                     next += interval;
                 }
@@ -144,7 +150,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = SimDuration::from_secs(20);
-        assert_eq!(steady(200.0, 0.3, 5).generate(d), steady(200.0, 0.3, 5).generate(d));
+        assert_eq!(
+            steady(200.0, 0.3, 5).generate(d),
+            steady(200.0, 0.3, 5).generate(d)
+        );
     }
 
     #[test]
@@ -159,9 +168,7 @@ mod tests {
         // Paced traffic's window-count dispersion is well below the Poisson
         // value of 1.
         let w = steady(1000.0, 0.4, 2).generate(SimDuration::from_secs(60));
-        let idc = index_of_dispersion(
-            RateSeries::new(&w, SimDuration::from_millis(100)).counts(),
-        );
+        let idc = index_of_dispersion(RateSeries::new(&w, SimDuration::from_millis(100)).counts());
         assert!(idc < 0.3, "idc {idc}");
     }
 
@@ -224,10 +231,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "jitter must be in")]
     fn bad_jitter_rejected() {
-        let _ = PacedGen::new(
-            vec![MmppState::new(1.0, SimDuration::from_secs(1))],
-            1.5,
-            0,
-        );
+        let _ = PacedGen::new(vec![MmppState::new(1.0, SimDuration::from_secs(1))], 1.5, 0);
     }
 }

@@ -45,7 +45,10 @@ impl PoissonGen {
     ///
     /// Panics if `rate` is negative or non-finite.
     pub fn with_mix(rate: f64, mix: IoMix, seed: u64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "invalid Poisson rate: {rate}");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "invalid Poisson rate: {rate}"
+        );
         PoissonGen {
             rate,
             mix,

@@ -62,12 +62,7 @@ fn spike(rate: f64, on_scale_s: f64, on_shape: f64, mean_off_s: f64, max_on_s: f
 }
 
 /// Merges a base workload with spike layers, deriving per-layer seeds.
-fn compose(
-    base: Workload,
-    layers: &[SpikeLayer],
-    span: SimDuration,
-    seed: u64,
-) -> Workload {
+fn compose(base: Workload, layers: &[SpikeLayer], span: SimDuration, seed: u64) -> Workload {
     let mut workload = base;
     for (i, layer) in layers.iter().enumerate() {
         let layer_seed = seed
@@ -89,12 +84,7 @@ fn compose(
 /// shifted self, as real busy-hour traces are) whose arrivals are then
 /// clumped into small batches (block traces are clumpy at millisecond
 /// scale: one logical operation issues several block requests).
-fn plateau_base(
-    states: Vec<MmppState>,
-    mean_batch: f64,
-    span: SimDuration,
-    seed: u64,
-) -> Workload {
+fn plateau_base(states: Vec<MmppState>, mean_batch: f64, span: SimDuration, seed: u64) -> Workload {
     let mut gen = PacedGen::new(states, 0.4, seed);
     let events = gen.generate(span);
     batch_arrivals(
@@ -218,7 +208,12 @@ pub fn fintrans_with(span: SimDuration, seed: u64) -> Workload {
     let layers = [
         spike(240.0, 0.08, 1.7, 13.0, 0.8),
         spike(420.0, 0.03, 2.0, 60.0, 0.15),
-        spike(2200.0, 0.006, 2.5, 300.0, 0.015),
+        // The extreme layer must be able to fill a 100 ms stats window with
+        // several times the ~105 IOPS composite mean on its own (the paper's
+        // FT peaks sit an order of magnitude over the base), so its
+        // one-window burst budget (rate x max_on) stays well above 5x the
+        // mean rather than relying on chance overlap with the other layers.
+        spike(4200.0, 0.010, 2.5, 300.0, 0.04),
     ];
     compose(base, &layers, span, seed)
 }

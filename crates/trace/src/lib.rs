@@ -47,9 +47,7 @@ mod window;
 mod workload;
 
 pub use curve::{ArrivalCurve, BusyPeriod, ServiceAnalysis};
-pub use request::{
-    LogicalBlock, Request, RequestId, RequestKind, DEFAULT_REQUEST_BYTES,
-};
+pub use request::{LogicalBlock, Request, RequestId, RequestKind, DEFAULT_REQUEST_BYTES};
 pub use stats::{BurstEpisode, BurstStats};
 pub use summary::TraceSummary;
 pub use time::{Iops, SimDuration, SimTime};

@@ -379,7 +379,10 @@ mod tests {
         let h_walk = hurst_exponent(&walk).expect("long enough");
         let alt: Vec<u64> = (0..512).map(|i| if i % 2 == 0 { 0 } else { 10 }).collect();
         let h_alt = hurst_exponent(&alt).expect("long enough");
-        assert!(h_walk > h_alt + 0.2, "walk H {h_walk}, alternating H {h_alt}");
+        assert!(
+            h_walk > h_alt + 0.2,
+            "walk H {h_walk}, alternating H {h_alt}"
+        );
         assert!(h_walk > 0.6, "walk H {h_walk}");
     }
 

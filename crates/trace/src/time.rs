@@ -341,8 +341,7 @@ impl Iops {
     ///
     /// Panics if `ops_per_sec` is not finite and strictly positive.
     pub fn new(ops_per_sec: f64) -> Self {
-        Iops::try_new(ops_per_sec)
-            .unwrap_or_else(|| panic!("invalid IOPS rate: {ops_per_sec}"))
+        Iops::try_new(ops_per_sec).unwrap_or_else(|| panic!("invalid IOPS rate: {ops_per_sec}"))
     }
 
     /// Creates a rate, returning `None` when `ops_per_sec` is not finite and
@@ -434,7 +433,10 @@ mod tests {
         let window = SimDuration::from_millis(100);
         assert_eq!(span / window, 10);
         assert_eq!(SimDuration::from_millis(250) / window, 2);
-        assert_eq!(SimDuration::from_millis(250) % window, SimDuration::from_millis(50));
+        assert_eq!(
+            SimDuration::from_millis(250) % window,
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]
@@ -458,7 +460,10 @@ mod tests {
             Iops::new(100.0).service_time(),
             SimDuration::from_millis(10)
         );
-        assert_eq!(Iops::new(1_000_000.0).service_time(), SimDuration::from_micros(1));
+        assert_eq!(
+            Iops::new(1_000_000.0).service_time(),
+            SimDuration::from_micros(1)
+        );
     }
 
     #[test]

@@ -211,11 +211,7 @@ impl Workload {
             "keep probability must be in [0, 1]: {keep}"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let kept = self
-            .requests
-            .iter()
-            .filter(|_| rng.gen_bool(keep))
-            .copied();
+        let kept = self.requests.iter().filter(|_| rng.gen_bool(keep)).copied();
         Workload::from_sorted(kept.collect())
     }
 
@@ -494,7 +490,9 @@ mod tests {
     #[test]
     fn builder_collects_and_builds() {
         let mut b = WorkloadBuilder::with_capacity(4);
-        b.push(ms(3)).push_n(ms(1), 2).push_request(Request::at(ms(2)));
+        b.push(ms(3))
+            .push_n(ms(1), 2)
+            .push_request(Request::at(ms(2)));
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
         let w = b.build();

@@ -27,8 +27,9 @@ fn main() {
 
     // Open: the same ~100 IOPS average, but as a fixed trace with a burst
     // in the middle. The server cannot push back.
-    let mut arrivals: Vec<SimTime> =
-        (0..2400).map(|i| SimTime::from_micros(i * 12_500)).collect(); // 80/s
+    let mut arrivals: Vec<SimTime> = (0..2400)
+        .map(|i| SimTime::from_micros(i * 12_500))
+        .collect(); // 80/s
     arrivals.extend(vec![SimTime::from_secs(15); 600]); // the burst
     let open_workload = Workload::from_arrivals(arrivals);
     let open = simulate(

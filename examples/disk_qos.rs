@@ -25,13 +25,14 @@ fn main() {
     // 1. Low-level orderings on the raw disk: FCFS vs SSTF vs C-LOOK over a
     //    *closed batch* of queued random requests (the situation where the
     //    throughput-maximising ordering below the QoS layer earns its keep).
-    let batch = gqos::Workload::from_requests(
-        workload
-            .iter()
-            .take(3000)
-            .map(|r| gqos::Request { arrival: gqos::SimTime::ZERO, ..*r }),
+    let batch = gqos::Workload::from_requests(workload.iter().take(3000).map(|r| gqos::Request {
+        arrival: gqos::SimTime::ZERO,
+        ..*r
+    }));
+    println!(
+        "\nlow-level disk scheduling (batch of {} queued requests):",
+        batch.len()
     );
-    println!("\nlow-level disk scheduling (batch of {} queued requests):", batch.len());
     let run_lowlevel = |name: &str, report: gqos::sim::RunReport| {
         println!(
             "  {name:<7} makespan {:>6.1}s  throughput {:>5.0} IOPS",

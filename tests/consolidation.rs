@@ -93,7 +93,10 @@ fn different_workload_pairs_behave_like_figure8() {
         deco_err <= full_err + 0.15,
         "decomposed mean error {deco_err:.3} vs full {full_err:.3}"
     );
-    assert!(deco_err < 0.40, "decomposed mean error too large: {deco_err:.3}");
+    assert!(
+        deco_err < 0.40,
+        "decomposed mean error too large: {deco_err:.3}"
+    );
 }
 
 #[test]

@@ -44,9 +44,7 @@ fn planner_is_reproducible() {
 
 #[test]
 fn disk_model_simulation_is_reproducible() {
-    let w = TraceProfile::FinTrans
-        .generate(SPAN, 3)
-        .time_scaled(3.0);
+    let w = TraceProfile::FinTrans.generate(SPAN, 3).time_scaled(3.0);
     let run = || {
         Simulation::new(&w, FcfsScheduler::new())
             .server(

@@ -4,9 +4,7 @@
 
 use gqos::sim::ServiceClass;
 use gqos::trace::gen::profiles::TraceProfile;
-use gqos::{
-    decompose, CapacityPlanner, QosTarget, RecombinePolicy, SimDuration, WorkloadShaper,
-};
+use gqos::{decompose, CapacityPlanner, QosTarget, RecombinePolicy, SimDuration, WorkloadShaper};
 
 const SPAN: SimDuration = SimDuration::from_secs(120);
 
@@ -53,12 +51,7 @@ fn shaped_policies_meet_the_target_where_fcfs_fails() {
     let shaper = WorkloadShaper::plan(&w, target);
     let deadline = target.deadline();
 
-    let fraction = |policy| {
-        shaper
-            .run(&w, policy)
-            .stats()
-            .fraction_within(deadline)
-    };
+    let fraction = |policy| shaper.run(&w, policy).stats().fraction_within(deadline);
     let fcfs = fraction(RecombinePolicy::Fcfs);
     let split = fraction(RecombinePolicy::Split);
     let fq = fraction(RecombinePolicy::FairQueue);

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use gqos::core::optimal_drop_lower_bound;
 use gqos::sim::{simulate, FcfsScheduler, FixedRateServer, ServiceClass};
 use gqos::{
-    decompose, CapacityPlanner, Iops, MiserScheduler, Provision, SimDuration, SimTime, Workload,
+    decompose, decompose_with_budget, within_miss_budget, CapacityPlanner, Iops, MiserScheduler,
+    Provision, SimDuration, SimTime, Workload,
 };
 
 /// Arbitrary small arrival pattern: up to `n` requests within `max_ms`
@@ -57,6 +58,36 @@ proptest! {
         let best = brute_force_max_kept(&w, c, delta);
         prop_assert_eq!(d.primary_count(), best,
             "RTT kept {} vs optimal {}", d.primary_count(), best);
+    }
+
+    /// The budgeted probe agrees with the full decomposition *and* with the
+    /// brute-force optimum: it returns `Some` exactly when the offline-best
+    /// subset leaves no more than `budget` requests out, and when it does,
+    /// the assignments are identical to [`decompose`]'s.
+    #[test]
+    fn budget_probe_matches_decompose_and_brute_force(
+        ms in arrivals(12, 60),
+        budget in 0u64..14,
+    ) {
+        let w = Workload::from_arrivals(ms.iter().map(|&m| SimTime::from_millis(m)));
+        let c = Iops::new(100.0); // 10 ms service
+        let delta = SimDuration::from_millis(20); // maxQ1 = 2
+        let full = decompose(&w, c, delta);
+        let probed = decompose_with_budget(&w, c, delta, budget);
+        let best_kept = brute_force_max_kept(&w, c, delta);
+        let within = within_miss_budget(&w, c, delta, budget);
+
+        // RTT is optimal, so the overflow count is exactly n - best_kept and
+        // the budget test reduces to comparing against the brute-force drop.
+        let feasible = w.len() as u64 - best_kept <= budget;
+        prop_assert_eq!(within, feasible);
+        prop_assert_eq!(probed.is_some(), feasible);
+        if let Some(d) = probed {
+            prop_assert_eq!(d.assignments(), full.assignments());
+            prop_assert_eq!(d.primary_count(), best_kept);
+        } else {
+            prop_assert!(full.overflow_count() > budget);
+        }
     }
 
     /// RTT never drops fewer than the Lemma 1 lower bound permits (sanity:

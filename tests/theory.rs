@@ -54,7 +54,10 @@ fn drop_bounds_nest_correctly() {
         let slotted = slotted_lower_bound(&w, c, delta);
         let rtt = decompose(&w, c, delta).overflow_count();
         let lemma2 = rtt_period_bound(&w, c, delta);
-        assert!(fluid <= slotted + 1, "fluid {fluid} > slotted {slotted} at {cap}");
+        assert!(
+            fluid <= slotted + 1,
+            "fluid {fluid} > slotted {slotted} at {cap}"
+        );
         assert!(slotted <= rtt, "slotted {slotted} > rtt {rtt} at {cap}");
         assert_eq!(rtt, lemma2, "Lemma 2 arithmetic diverged at {cap}");
     }

@@ -1,0 +1,301 @@
+//! In-tree, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up, then
+//! timed over `sample_size` samples whose per-sample iteration count is
+//! chosen adaptively so a sample takes roughly [`TARGET_SAMPLE`]. The
+//! median per-iteration time is printed, with derived throughput when one
+//! was declared. There is no statistical analysis, plotting, or baseline
+//! comparison — the numbers are for relative, same-machine comparisons.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+
+/// Re-export of the standard opaque value barrier, so
+/// `criterion::black_box` works as with upstream.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared work per benchmark iteration; used to derive throughput lines.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's name within its group, optionally parameterised.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // roughly one TARGET_SAMPLE.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE / 2 || iters >= 1 << 30 {
+                if elapsed > Duration::ZERO {
+                    let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+                    iters = ((iters as f64 * scale).ceil() as u64).max(1);
+                }
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort();
+        self.median = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            median: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.median);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            median: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.median);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, median: Option<Duration>) {
+        let name = format!("{}/{}", self.name, id.id);
+        match median {
+            Some(median) => {
+                let mut line = format!("{name:<48} time: {}", fmt_duration(median));
+                if let Some(tp) = self.throughput {
+                    line.push_str(&format!("   thrpt: {}", fmt_throughput(tp, median)));
+                }
+                println!("{line}");
+            }
+            None => println!("{name:<48} (no measurement taken)"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn fmt_throughput(tp: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Elements(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e6 {
+                format!("{:.2} Melem/s", rate / 1e6)
+            } else if rate >= 1e3 {
+                format!("{:.2} Kelem/s", rate / 1e3)
+            } else {
+                format!("{rate:.2} elem/s")
+            }
+        }
+        Throughput::Bytes(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+            } else if rate >= 1e6 {
+                format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+            } else {
+                format!("{:.2} KiB/s", rate / 1024.0)
+            }
+        }
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring upstream
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, mirroring upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("wfq", 4096).id, "wfq/4096");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn throughput_formats() {
+        assert!(
+            fmt_throughput(Throughput::Elements(1000), Duration::from_micros(1)).contains("elem/s")
+        );
+        assert!(
+            fmt_throughput(Throughput::Bytes(1 << 20), Duration::from_millis(1)).contains("iB/s")
+        );
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+    }
+}

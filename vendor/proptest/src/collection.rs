@@ -1,0 +1,118 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// An inclusive size bound for generated collections.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Generates a `HashSet` with a size drawn from `size` and distinct
+/// elements from `element`.
+///
+/// If the element strategy cannot supply enough distinct values the set may
+/// come out smaller than the drawn size (upstream proptest rejects such
+/// cases; for the workspace's element domains this never triggers).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let budget = target.saturating_mul(20) + 100;
+        while out.len() < target && attempts < budget {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

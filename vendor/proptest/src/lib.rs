@@ -1,0 +1,281 @@
+//! In-tree, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the proptest API its property tests use: the
+//! [`proptest!`], [`prop_compose!`], [`prop_oneof!`] and `prop_assert*`
+//! macros, [`strategy::Strategy`] with `prop_map`/`boxed`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::hash_set`], and
+//! [`arbitrary::any`].
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! fully qualified test name), so failures are reproducible run to run.
+//! Shrinking is not implemented: a failing case reports its case number and
+//! message and panics immediately.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of the crate root, so `prop::collection::vec(..)`
+    /// works as it does with upstream proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs a block of property tests.
+///
+/// Supported grammar (the subset upstream proptest documents):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, ys in prop::collection::vec(0u32..9, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ($($strategy,)+);
+                for case in 0..config.cases {
+                    let ($($parm,)+) =
+                        $crate::strategy::Strategy::new_value(&strategy, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}/{}: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a composed strategy, mirroring upstream
+/// `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($args:tt)*)
+            ($($parm:pat in $strategy:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strategy,)+),
+                move |($($parm,)+)| $body,
+            )
+        }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{:?}` != `{:?}`",
+                            left, right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, but fails the current proptest case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{:?}` == `{:?}`",
+                            left, right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_pair()(a in 0u64..10, b in 0u64..10) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, f in 0.25f64..0.75) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f), "f was {f}");
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0u32..100, 3..=7)) {
+            prop_assert!(v.len() >= 3 && v.len() <= 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn hash_sets_are_distinct(s in prop::collection::hash_set(0u64..1000, 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+
+        #[test]
+        fn composed_strategies_apply(p in small_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+
+        #[test]
+        fn oneof_picks_all_branches(v in prop::collection::vec(
+            prop_oneof![Just(None), (0usize..2).prop_map(Some)], 1..100))
+        {
+            prop_assert!(v.iter().all(|x| matches!(x, None | Some(0) | Some(1))));
+        }
+
+        #[test]
+        fn any_bool_and_u64(b in any::<bool>(), x in any::<u64>()) {
+            prop_assert!(u8::from(b) <= 1);
+            let _ = x;
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(x in 0u64..4) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::rng_for_test("some::test");
+        let mut b = crate::test_runner::rng_for_test("some::test");
+        let sa = (0u64..100).new_value(&mut a);
+        let sb = (0u64..100).new_value(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,171 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// simply produces a fresh value per case from the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, rng: &mut StdRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// A uniform choice among several strategies of the same value type; built
+/// by the [`prop_oneof!`](crate::prop_oneof) macro.
+#[derive(Debug)]
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A 0);
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);

@@ -1,0 +1,155 @@
+//! In-tree, dependency-free stand-in for the [`rand_distr`] crate.
+//!
+//! Provides the distributions the workspace samples from — currently
+//! [`Pareto`], plus [`Exp`] for completeness — behind the same
+//! [`Distribution`] trait shape as the upstream crate.
+//!
+//! [`rand_distr`]: https://crates.io/crates/rand_distr
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Uniform `f64` in `(0, 1]` — never zero, so logs and reciprocals are safe.
+#[inline]
+fn unit_open_closed<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The Pareto distribution `P(X > x) = (scale / x)^shape` for `x ≥ scale`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use rand_distr::{Distribution, Pareto};
+///
+/// let pareto = Pareto::new(1.0, 2.0).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert!(pareto.sample(&mut rng) >= 1.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with minimum value `scale` and tail
+    /// index `shape` (smaller shape = heavier tail).
+    pub fn new(scale: f64, shape: f64) -> Result<Pareto, ParamError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError("Pareto scale must be finite and positive"));
+        }
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(ParamError("Pareto shape must be finite and positive"));
+        }
+        Ok(Pareto {
+            scale,
+            inv_shape: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: X = scale * U^(-1/shape), U uniform in (0, 1].
+        let u = unit_open_closed(rng);
+        self.scale * u.powf(-self.inv_shape)
+    }
+}
+
+/// The exponential distribution with the given rate `λ`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda` (mean `1/λ`).
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError("Exp rate must be finite and positive"));
+        }
+        Ok(Exp { rate: lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open_closed(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let p = Pareto::new(2.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_matches_theory() {
+        // Mean = scale * shape / (shape - 1) for shape > 1.
+        let (scale, shape) = (1.0, 3.0);
+        let p = Pareto::new(scale, shape).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        let expect = scale * shape / (shape - 1.0);
+        assert!((mean - expect).abs() / expect < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.0).is_err());
+        let msg = Pareto::new(-1.0, 1.0).unwrap_err().to_string();
+        assert!(msg.contains("scale"));
+    }
+
+    #[test]
+    fn exp_mean_matches_theory() {
+        let e = Exp::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_rate() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+}
