@@ -6,10 +6,11 @@
 //! baseline for the budgeted early-exit search now used by
 //! [`CapacityPlanner::min_capacity`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqos_core::CapacityPlanner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqos_core::{overflow_count, overflow_curve, CapacityPlanner, RttClassifier};
+use gqos_sim::ServiceClass;
 use gqos_trace::gen::profiles::TraceProfile;
-use gqos_trace::{Iops, SimDuration};
+use gqos_trace::{Iops, SimDuration, SimTime, Workload};
 
 /// The seed implementation: probe via full `fraction_guaranteed`
 /// decompositions, no early exit, no warm start.
@@ -83,5 +84,74 @@ fn bench_menu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_min_capacity, bench_menu);
+/// The seed implementation's probe: `fraction_guaranteed` ran a full
+/// `decompose` — walk the request structs with the per-completion drain
+/// loop around [`RttClassifier`], filling the per-request assignment
+/// vector (allocated fresh per probe, exactly as the seed did).
+fn legacy_aos_overflow(w: &Workload, capacity: Iops, deadline: SimDuration) -> u64 {
+    let mut rtt = RttClassifier::new(capacity, deadline);
+    let service = capacity.service_time().max(SimDuration::from_nanos(1));
+    let mut next_done = SimTime::ZERO;
+    let mut assignments = Vec::with_capacity(w.len());
+    let mut overflow = 0u64;
+    for r in w.iter() {
+        while rtt.len_q1() > 0 && next_done <= r.arrival {
+            rtt.primary_departed();
+            next_done += service;
+        }
+        if rtt.len_q1() == 0 {
+            next_done = r.arrival + service;
+        }
+        let class = rtt.classify();
+        assignments.push(class);
+        if class != ServiceClass::PRIMARY {
+            overflow += 1;
+        }
+    }
+    std::hint::black_box(assignments);
+    overflow
+}
+
+/// The capacity-grid sweep: evaluate exact overflow counts for a 16-point
+/// capacity grid over a trace that outgrows L2 (~10 minutes of OpenMail,
+/// a ~2.5 MB arrival column).
+///
+/// - `fused_overflow_curve` — one tiled pass over the column for the whole
+///   grid;
+/// - `per_probe_columnar` — one columnar counting pass per capacity;
+/// - `per_probe_legacy_aos` — the seed's per-capacity probe (request
+///   structs, per-completion drain loop), the pre-columnar baseline.
+fn bench_capacity_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_grid_sweep");
+    group.sample_size(10);
+    let w = TraceProfile::OpenMail.generate(SimDuration::from_secs(600), 1);
+    let _ = w.arrival_column(); // exclude the one-time projection
+    let delta = SimDuration::from_millis(10);
+    let grid: Vec<Iops> = (1..=16).map(|i| Iops::new(i as f64 * 150.0)).collect();
+    group.throughput(Throughput::Elements(w.len() as u64 * grid.len() as u64));
+    group.bench_function("fused_overflow_curve/16", |b| {
+        b.iter(|| std::hint::black_box(overflow_curve(&w, &grid, delta)));
+    });
+    group.bench_function("per_probe_columnar/16", |b| {
+        b.iter(|| {
+            let counts: Vec<u64> = grid
+                .iter()
+                .map(|&capacity| overflow_count(&w, capacity, delta))
+                .collect();
+            std::hint::black_box(counts)
+        });
+    });
+    group.bench_function("per_probe_legacy_aos/16", |b| {
+        b.iter(|| {
+            let counts: Vec<u64> = grid
+                .iter()
+                .map(|&capacity| legacy_aos_overflow(&w, capacity, delta))
+                .collect();
+            std::hint::black_box(counts)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_capacity, bench_menu, bench_capacity_grid);
 criterion_main!(benches);

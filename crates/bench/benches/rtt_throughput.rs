@@ -4,7 +4,7 @@
 //! must be negligible (the paper's Algorithm 1 is a counter comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gqos_core::{decompose, within_miss_budget, RttClassifier};
+use gqos_core::{decompose, within_miss_budget, DecomposeScratch, RttClassifier};
 use gqos_trace::gen::profiles::TraceProfile;
 use gqos_trace::{Iops, SimDuration};
 
@@ -39,6 +39,19 @@ fn bench_offline_decompose(c: &mut Criterion) {
                         Iops::new(900.0),
                         SimDuration::from_millis(10),
                     ))
+                });
+            },
+        );
+        // Scratch reuse: the same scan without the per-probe assignment
+        // vector allocation.
+        group.bench_with_input(
+            BenchmarkId::new("openmail_scratch", format!("{}req", w.len())),
+            &w,
+            |b, w| {
+                let mut scratch = DecomposeScratch::new();
+                b.iter(|| {
+                    let view = scratch.decompose(w, Iops::new(900.0), SimDuration::from_millis(10));
+                    std::hint::black_box(view.overflow_count())
                 });
             },
         );

@@ -27,6 +27,14 @@ fn main() {
     println!();
 
     let fractions_of_cmin = [0.005, 0.02, 0.0662, 0.125, 0.25, 0.5, 1.0];
+    // Analytical companion: the RTT-guaranteed fraction if the *whole*
+    // provisioned capacity Cmin + ΔC served the primary class — every grid
+    // point evaluated in one fused pass over the trace.
+    let totals: Vec<Iops> = fractions_of_cmin
+        .iter()
+        .map(|&f| Iops::new(cmin.get() + (cmin.get() * f).max(1.0)))
+        .collect();
+    let planned = CapacityPlanner::new(&workload, deadline).fraction_curve(&totals);
     let mut table = Table::new(vec![
         "delta_c".into(),
         "policy".into(),
@@ -34,6 +42,7 @@ fn main() {
         "primary misses".into(),
         "overflow mean".into(),
         "overflow max".into(),
+        "rtt bound at total".into(),
     ]);
     let mut csv = vec![vec![
         "delta_c_iops".to_string(),
@@ -42,6 +51,7 @@ fn main() {
         "primary_misses".to_string(),
         "overflow_mean_ms".to_string(),
         "overflow_max_ms".to_string(),
+        "rtt_bound_at_total".to_string(),
     ]];
 
     // The (delta_c, policy) cells are independent simulations — fan them
@@ -67,8 +77,9 @@ fn main() {
         }
     });
 
-    for ((frac, name), report) in cells.into_iter().zip(reports) {
+    for (cell, ((frac, name), report)) in cells.into_iter().zip(reports).enumerate() {
         let delta_c = Iops::new((cmin.get() * frac).max(1.0));
+        let bound = planned[cell / 2]; // two policies per delta_c grid point
         {
             let primary = report.stats_for(ServiceClass::PRIMARY);
             let overflow = report.stats_for(ServiceClass::OVERFLOW);
@@ -83,6 +94,7 @@ fn main() {
                 misses.to_string(),
                 format!("{omean:.0} ms"),
                 format!("{omax:.0} ms"),
+                format!("{:.3}%", bound * 100.0),
             ]);
             csv.push(vec![
                 format!("{:.0}", delta_c.get()),
@@ -91,6 +103,7 @@ fn main() {
                 misses.to_string(),
                 format!("{omean:.1}"),
                 format!("{omax:.1}"),
+                format!("{bound:.5}"),
             ]);
         }
     }

@@ -1,0 +1,268 @@
+//! Deterministic micro-benchmark report: the repo's perf trajectory seed.
+//!
+//! Runs the planner / RTT / simulation kernels over fixed synthetic traces
+//! (fixed seed, fixed iteration counts — the *work* is deterministic, only
+//! the wall-clock varies) and writes `BENCH_core.json`: one record per
+//! kernel with the median ns/op across samples. CI runs a reduced-sample
+//! pass and archives the JSON; trend tooling diffs records by `name`.
+//!
+//! Also asserts the serial-vs-parallel SLA-menu equivalence contract on
+//! every run: `CapacityPlanner::menu` and `menu_parallel` must quote
+//! byte-identical capacities.
+//!
+//! Usage: `cargo run --release -p gqos-bench --bin perf_report --
+//!         [--out BENCH_core.json] [--samples 9] [--span-secs 60]
+//!         [--threads 4]`
+
+use std::time::Instant;
+
+use gqos_core::{
+    decompose, overflow_count, overflow_curve, within_miss_budget, CapacityPlanner,
+    DecomposeScratch, FcfsScheduler, RttClassifier,
+};
+use gqos_parallel::WorkerPool;
+use gqos_sim::{simulate, FixedRateServer, ServiceClass};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::{Iops, SimDuration, TraceSummary, Workload};
+
+/// One measured kernel: median nanoseconds per operation, plus how many
+/// trace elements one operation touches (0 when not meaningful).
+struct Record {
+    name: &'static str,
+    median_ns: f64,
+    elements: u64,
+}
+
+/// Runs `op` `iters` times per sample for `samples` samples; returns the
+/// median ns per single `op` call.
+fn measure<R>(samples: usize, iters: usize, mut op: impl FnMut() -> R) -> f64 {
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(op());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_op[per_op.len() / 2]
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+    let samples = parse_flag(&args, "--samples").unwrap_or(9) as usize;
+    let span = SimDuration::from_secs(parse_flag(&args, "--span-secs").unwrap_or(60));
+    let threads = parse_flag(&args, "--threads").unwrap_or(4) as usize;
+
+    let openmail = TraceProfile::OpenMail.generate(span, 1);
+    let websearch = TraceProfile::WebSearch.generate(span, 1);
+    let delta = SimDuration::from_millis(10);
+    let n = openmail.len() as u64;
+    println!(
+        "perf_report: OpenMail {} req, WebSearch {} req over {span} \
+         ({samples} samples)",
+        openmail.len(),
+        websearch.len()
+    );
+
+    // Warm the arrival columns so no record pays the one-time projection.
+    let _ = openmail.arrival_column();
+    let _ = websearch.arrival_column();
+
+    // The fused-vs-scalar capacity grid: 16 probes spanning infeasible to
+    // comfortable capacities.
+    let grid: Vec<Iops> = (1..=16).map(|i| Iops::new(i as f64 * 150.0)).collect();
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut push = |name, median_ns, elements| {
+        println!("  {name:<32} {median_ns:>14.1} ns/op");
+        records.push(Record {
+            name,
+            median_ns,
+            elements,
+        });
+    };
+
+    // --- RTT kernels -----------------------------------------------------
+    let mut classifier = RttClassifier::new(Iops::new(1000.0), delta);
+    push(
+        "rtt/classifier_op",
+        measure(samples, 2_000_000, || {
+            let class = classifier.classify();
+            if class == ServiceClass::PRIMARY {
+                classifier.primary_departed();
+            }
+            class
+        }),
+        1,
+    );
+    push(
+        "rtt/decompose",
+        measure(samples, 20, || {
+            decompose(&openmail, Iops::new(900.0), delta)
+        }),
+        n,
+    );
+    let mut scratch = DecomposeScratch::new();
+    push(
+        "rtt/decompose_scratch",
+        measure(samples, 20, || {
+            scratch
+                .decompose(&openmail, Iops::new(900.0), delta)
+                .overflow_count()
+        }),
+        n,
+    );
+    push(
+        "rtt/overflow_count",
+        measure(samples, 20, || {
+            overflow_count(&openmail, Iops::new(900.0), delta)
+        }),
+        n,
+    );
+    push(
+        "rtt/budget_probe_infeasible",
+        measure(samples, 200, || {
+            within_miss_budget(&openmail, Iops::new(300.0), delta, n / 10)
+        }),
+        n,
+    );
+
+    // --- Fused capacity grid vs per-capacity probes ----------------------
+    push(
+        "grid/overflow_curve_16",
+        measure(samples, 3, || overflow_curve(&openmail, &grid, delta)),
+        n * grid.len() as u64,
+    );
+    push(
+        "grid/per_probe_16",
+        measure(samples, 3, || {
+            grid.iter()
+                .map(|&c| {
+                    if c.requests_within(delta) == 0 {
+                        n
+                    } else {
+                        overflow_count(&openmail, c, delta)
+                    }
+                })
+                .collect::<Vec<u64>>()
+        }),
+        n * grid.len() as u64,
+    );
+
+    // --- Planner ---------------------------------------------------------
+    let planner = CapacityPlanner::new(&websearch, delta);
+    push(
+        "planner/min_capacity_f90",
+        measure(samples, 10, || planner.min_capacity(0.90)),
+        websearch.len() as u64,
+    );
+    push(
+        "planner/min_capacity_f100",
+        measure(samples, 10, || planner.min_capacity(1.0)),
+        websearch.len() as u64,
+    );
+    let fractions = [0.90, 0.95, 0.99, 0.999, 1.0];
+    push(
+        "planner/menu_serial_5",
+        measure(samples, 3, || planner.menu(&fractions)),
+        websearch.len() as u64,
+    );
+    let pool = WorkerPool::new(threads);
+    push(
+        "planner/menu_parallel_5",
+        measure(samples, 3, || planner.menu_parallel(&fractions, &pool)),
+        websearch.len() as u64,
+    );
+
+    // Determinism contract: the two menu paths must agree byte for byte.
+    let serial = planner.menu(&fractions);
+    let parallel = planner.menu_parallel(&fractions, &pool);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.target, p.target, "menu targets diverged");
+        assert_eq!(
+            s.cmin.get().to_bits(),
+            p.cmin.get().to_bits(),
+            "serial and parallel menus must quote byte-identical capacities"
+        );
+    }
+    println!(
+        "  menu equivalence: serial == parallel ({} fractions, {} threads) ok",
+        fractions.len(),
+        pool.threads()
+    );
+
+    // --- Workload aggregates ---------------------------------------------
+    let stats_window = SimDuration::from_millis(100);
+    push(
+        "summary/cold",
+        measure(samples, 3, || TraceSummary::new(&openmail, stats_window)),
+        n,
+    );
+    let _ = openmail.cached_summary(stats_window);
+    push(
+        "summary/cached",
+        measure(samples, 100_000, || openmail.cached_summary(stats_window)),
+        n,
+    );
+
+    // --- Simulation ------------------------------------------------------
+    let sim_w: Workload = {
+        let sim_span = SimDuration::from_secs((span.as_secs_f64() as u64).clamp(1, 30));
+        TraceProfile::OpenMail.generate(sim_span, 1)
+    };
+    let sim_capacity = CapacityPlanner::new(&sim_w, delta).min_capacity(0.90);
+    push(
+        "sim/fcfs_openmail",
+        measure(samples, 3, || {
+            simulate(
+                &sim_w,
+                FcfsScheduler::new(),
+                FixedRateServer::new(sim_capacity),
+            )
+            .completed()
+        }),
+        sim_w.len() as u64,
+    );
+
+    // --- JSON ------------------------------------------------------------
+    let fused = records
+        .iter()
+        .find(|r| r.name == "grid/overflow_curve_16")
+        .expect("fused record");
+    let scalar = records
+        .iter()
+        .find(|r| r.name == "grid/per_probe_16")
+        .expect("scalar record");
+    println!(
+        "  grid speedup: fused is {:.2}x vs per-capacity probes",
+        scalar.median_ns / fused.median_ns
+    );
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"elements\": {}}}{}\n",
+            r.name,
+            r.median_ns,
+            r.elements,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write BENCH json");
+    println!("wrote {out_path}");
+}

@@ -33,17 +33,26 @@ pub struct Fig5Cell {
 
 /// Computes all six cells, fanning the `(workload, fraction)` grid over
 /// [`ExpConfig::pool`].
+///
+/// Capacities come from one warm-started [`CapacityPlanner::menu`] sweep
+/// per workload — both fractions quoted off a single ascending search over
+/// the columnar kernels — instead of an independent `Cmin` search per cell;
+/// the quotes are identical (the menu returns the same minimal integer
+/// capacities), only the probe work is shared.
 pub fn compute(cfg: &ExpConfig) -> Vec<Fig5Cell> {
     let deadline = SimDuration::from_millis(FIG5_DEADLINE_MS);
     let workloads = cfg.pool().map(TraceProfile::ALL.to_vec(), |profile| {
         (profile, profile.generate(cfg.span, cfg.seed))
     });
-    let grid: Vec<(usize, f64)> = (0..workloads.len())
-        .flat_map(|w| FIG5_FRACTIONS.iter().map(move |&f| (w, f)))
+    let menus = cfg.pool().map((0..workloads.len()).collect(), |w: usize| {
+        CapacityPlanner::new(&workloads[w].1, deadline).menu(&FIG5_FRACTIONS)
+    });
+    let grid: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..FIG5_FRACTIONS.len()).map(move |f| (w, f)))
         .collect();
-    cfg.pool().map(grid, |(w, fraction)| {
+    cfg.pool().map(grid, |(w, f)| {
         let (profile, ref workload) = workloads[w];
-        let capacity = CapacityPlanner::new(workload, deadline).min_capacity(fraction);
+        let capacity = menus[w][f].cmin;
         let report = simulate(
             workload,
             FcfsScheduler::new(),
@@ -51,7 +60,7 @@ pub fn compute(cfg: &ExpConfig) -> Vec<Fig5Cell> {
         );
         Fig5Cell {
             profile,
-            fraction,
+            fraction: FIG5_FRACTIONS[f],
             capacity: capacity.get(),
             stats: report.stats(),
         }

@@ -1,0 +1,424 @@
+//! Allocation-free integer kernels behind the RTT decomposition family.
+//!
+//! Every offline entry point in [`rtt`](crate::rtt) — [`decompose`],
+//! [`within_miss_budget`], the planner's probes — reduces to the same loop:
+//! walk the arrivals in order, emulate the dedicated rate-`C` primary
+//! server, and admit while fewer than `maxQ1 = ⌊C·δ⌋` primary requests are
+//! pending. This module states that loop once, in pure integer arithmetic
+//! over the workload's cached [`ArrivalColumn`](gqos_trace::ArrivalColumn):
+//!
+//! - [`RttParams`] precomputes `(maxQ1, service_ns)` for one `(C, δ)` pair;
+//! - [`RttState`] is the 16-byte rolling server state with an O(1)
+//!   *bulk-drain* admit step (the seed's per-completion `while` loop is
+//!   replaced by one division — exactly equivalent, see the unit tests);
+//! - [`overflow_curve`] and [`within_miss_budget_curve`] fuse a whole
+//!   capacity grid into a single pass over the arrivals: the column streams
+//!   through once, and the per-capacity state recurrences — each a serial
+//!   dependency chain — run interleaved so the core overlaps them.
+//!
+//! [`decompose`]: crate::rtt::decompose
+//! [`within_miss_budget`]: crate::rtt::within_miss_budget
+
+use gqos_trace::{Iops, SimDuration, Workload};
+
+/// Arrivals per tile of the fused *budget* probe: 4096 × 8 B = 32 KiB,
+/// sized to sit in L1d. [`within_miss_budget_curve`] checks lane viability
+/// at tile granularity so busted lanes drop out between blocks.
+const TILE: usize = 4096;
+
+/// Precomputed integer parameters of one RTT scan at a fixed `(C, δ)`.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct RttParams {
+    /// The primary-queue bound `maxQ1 = ⌊C·δ⌋` (≥ 1).
+    pub(crate) max_q1: u64,
+    /// Deterministic primary service time `1/C` in nanoseconds (≥ 1).
+    pub(crate) service_ns: u64,
+}
+
+impl RttParams {
+    /// Parameters for a scan, with the same contract as
+    /// [`RttClassifier::new`](crate::RttClassifier::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero or `⌊C·δ⌋ = 0`.
+    pub(crate) fn new(capacity: Iops, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        RttParams::try_new(capacity, deadline).unwrap_or_else(|| {
+            panic!(
+                "C x delta = {capacity} x {deadline} admits no requests; \
+                 raise capacity or deadline"
+            )
+        })
+    }
+
+    /// Non-panicking variant: `None` when `⌊C·δ⌋ = 0` (a degenerate
+    /// capacity that can guarantee nothing — every request overflows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub(crate) fn try_new(capacity: Iops, deadline: SimDuration) -> Option<Self> {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        let max_q1 = capacity.requests_within(deadline);
+        if max_q1 == 0 {
+            return None;
+        }
+        let service_ns = capacity
+            .service_time()
+            .max(SimDuration::from_nanos(1))
+            .as_nanos();
+        Some(RttParams { max_q1, service_ns })
+    }
+}
+
+/// Rolling state of the emulated dedicated primary server: the pending
+/// primary count and the completion instant of the request at the head of
+/// `Q1`.
+#[derive(Copy, Clone, Default, Debug)]
+pub(crate) struct RttState {
+    len_q1: u64,
+    next_done_ns: u64,
+}
+
+impl RttState {
+    /// Processes one arrival (Algorithm 1): `true` if it is admitted to the
+    /// primary class.
+    ///
+    /// While busy the server finishes one request every `service_ns`, so
+    /// all completions up to the arrival drain in one step:
+    /// `min(lenQ1, (arrival − next_done)/service + 1)` — the closed form of
+    /// the per-completion loop. The common case (the whole queue drains
+    /// before the arrival: the last completion, at
+    /// `next_done + (lenQ1−1)·service`, has passed) is decided with one
+    /// multiply; the division only runs on a *partial* drain, i.e. when a
+    /// burst is actively backlogging the server.
+    #[inline(always)]
+    pub(crate) fn admit(&mut self, p: RttParams, arrival_ns: u64) -> bool {
+        if self.len_q1 > 0 && self.next_done_ns <= arrival_ns {
+            if self.next_done_ns + (self.len_q1 - 1) * p.service_ns <= arrival_ns {
+                // Full drain: `next_done` is reset by the idle branch below.
+                self.len_q1 = 0;
+            } else {
+                let drained = (arrival_ns - self.next_done_ns) / p.service_ns + 1;
+                self.len_q1 -= drained;
+                self.next_done_ns += drained * p.service_ns;
+            }
+        }
+        if self.len_q1 == 0 {
+            // Server idle: the next admitted request starts on arrival.
+            self.next_done_ns = arrival_ns + p.service_ns;
+        }
+        if self.len_q1 < p.max_q1 {
+            self.len_q1 += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Counts RTT overflow at one capacity — a single allocation-free pass.
+pub(crate) fn scan_overflow(workload: &Workload, p: RttParams) -> u64 {
+    let mut state = RttState::default();
+    let mut overflow = 0u64;
+    for &arrival in workload.arrival_column().nanos() {
+        overflow += u64::from(!state.admit(p, arrival));
+    }
+    overflow
+}
+
+/// Counting budget probe at one capacity: `true` iff RTT diverts at most
+/// `budget` requests. Aborts the scan as soon as the budget is exceeded.
+pub(crate) fn scan_within_budget(workload: &Workload, p: RttParams, budget: u64) -> bool {
+    let mut state = RttState::default();
+    let mut overflow = 0u64;
+    for &arrival in workload.arrival_column().nanos() {
+        if !state.admit(p, arrival) {
+            overflow += 1;
+            if overflow > budget {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Lanes the fused overflow pass pins in registers per sweep of the
+/// column: four independent `state → state` recurrences is enough to keep
+/// the out-of-order core busy without spilling the states to the stack.
+const LANE_UNROLL: usize = 4;
+
+/// Evaluates RTT overflow counts for a whole capacity grid in one fused
+/// pass over the workload — the probe behind capacity sweeps and
+/// [`CapacityPlanner::fraction_curve`](crate::CapacityPlanner::fraction_curve).
+///
+/// Result `i` equals `decompose(workload, capacities[i], deadline)
+/// .overflow_count()`, except that *degenerate* capacities (`⌊C·δ⌋ = 0`,
+/// which [`decompose`](crate::rtt::decompose) rejects with a panic) map to
+/// `workload.len()`: a capacity that cannot finish one request within the
+/// deadline guarantees nothing, so every request overflows. That convention
+/// lets grid sweeps include sub-floor capacities without pre-filtering.
+///
+/// The grid is processed [`LANE_UNROLL`] capacities at a time: each quad
+/// sweeps the column once with its four states held in registers. One
+/// per-capacity scan is latency-bound on a single serial `state → state`
+/// recurrence; inside a quad the four recurrences are independent, so the
+/// core overlaps them and the sweep runs near throughput instead of
+/// latency. The column is streamed `⌈k/4⌉` times, but it is a flat 8 B/req
+/// buffer — bandwidth is not the binding constraint, the chain is.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero.
+pub fn overflow_curve(workload: &Workload, capacities: &[Iops], deadline: SimDuration) -> Vec<u64> {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let n = workload.len() as u64;
+    let mut lanes: Vec<(usize, RttParams, RttState, u64)> = Vec::with_capacity(capacities.len());
+    let mut overflow = vec![0u64; capacities.len()];
+    for (i, &c) in capacities.iter().enumerate() {
+        match RttParams::try_new(c, deadline) {
+            Some(p) => lanes.push((i, p, RttState::default(), 0)),
+            None => overflow[i] = n,
+        }
+    }
+    let col = workload.arrival_column().nanos();
+    let mut quads = lanes.chunks_exact_mut(LANE_UNROLL);
+    for quad in &mut quads {
+        let [l0, l1, l2, l3] = quad else {
+            unreachable!()
+        };
+        let (p0, p1, p2, p3) = (l0.1, l1.1, l2.1, l3.1);
+        let (mut s0, mut s1, mut s2, mut s3) = (l0.2, l1.2, l2.2, l3.2);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for &arrival in col {
+            c0 += u64::from(!s0.admit(p0, arrival));
+            c1 += u64::from(!s1.admit(p1, arrival));
+            c2 += u64::from(!s2.admit(p2, arrival));
+            c3 += u64::from(!s3.admit(p3, arrival));
+        }
+        (l0.3, l1.3, l2.3, l3.3) = (c0, c1, c2, c3);
+    }
+    // Up to three leftover lanes: one sweep, interleaved arrival-major.
+    let rest = quads.into_remainder();
+    if !rest.is_empty() {
+        for &arrival in col {
+            for (_, p, state, count) in rest.iter_mut() {
+                *count += u64::from(!state.admit(*p, arrival));
+            }
+        }
+    }
+    for (i, _, _, count) in lanes {
+        overflow[i] = count;
+    }
+    overflow
+}
+
+/// Fused budgeted feasibility probe over a capacity grid: result `i` is
+/// `within_miss_budget(workload, capacities[i], deadline, budget)`, with
+/// degenerate capacities (`⌊C·δ⌋ = 0`) feasible only when the whole
+/// workload fits the budget (`len ≤ budget`), matching the
+/// [`overflow_curve`] convention.
+///
+/// Early exits are *shared across the grid*: overflow counts are
+/// non-increasing in `C` (a faster server with a deeper bound admits a
+/// superset — see `overflow_is_monotone_in_capacity` in the tests), so as
+/// the scan advances, capacities bust their budget from the bottom of the
+/// grid upward. Each busted lane drops out of the remaining tiles, and the
+/// pass stops entirely once every lane has failed — an infeasible grid
+/// costs one budget-bounded prefix, not `k` full scans. Each lane's own
+/// exit is decided by its running count alone, so the result does not
+/// *rely* on monotonicity; monotonicity is what makes the shared exit pay.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero.
+pub fn within_miss_budget_curve(
+    workload: &Workload,
+    capacities: &[Iops],
+    deadline: SimDuration,
+    budget: u64,
+) -> Vec<bool> {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let n = workload.len() as u64;
+    let mut verdicts = vec![false; capacities.len()];
+    let mut lanes: Vec<(usize, RttParams, RttState, u64)> = Vec::with_capacity(capacities.len());
+    for (i, &c) in capacities.iter().enumerate() {
+        match RttParams::try_new(c, deadline) {
+            Some(p) => lanes.push((i, p, RttState::default(), 0)),
+            None => verdicts[i] = n <= budget,
+        }
+    }
+    for block in workload.arrival_column().nanos().chunks(TILE) {
+        lanes.retain_mut(|(_, p, state, overflow)| {
+            for &arrival in block {
+                if !state.admit(*p, arrival) {
+                    *overflow += 1;
+                    if *overflow > budget {
+                        // Lane busted: drop it from the remaining tiles.
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        if lanes.is_empty() {
+            break;
+        }
+    }
+    // Lanes that survived the full scan stayed within budget.
+    for (i, _, _, _) in lanes {
+        verdicts[i] = true;
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtt::{decompose, within_miss_budget};
+    use gqos_trace::SimTime;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn bursty() -> Workload {
+        let mut arrivals: Vec<SimTime> = (0..400).map(|i| ms(i * 7)).collect();
+        arrivals.extend(vec![ms(500); 25]);
+        arrivals.extend(vec![ms(1700); 60]);
+        Workload::from_arrivals(arrivals)
+    }
+
+    #[test]
+    fn bulk_drain_matches_per_completion_loop() {
+        // Replay the same arrivals through the closed-form state and a
+        // literal transcription of the seed's while-loop; every decision
+        // and every intermediate state must coincide.
+        let w = bursty();
+        let p = RttParams::new(Iops::new(300.0), dms(20));
+        let mut fast = RttState::default();
+        let (mut len_q1, mut next_done) = (0u64, 0u64);
+        for &a in w.arrival_column().nanos() {
+            while len_q1 > 0 && next_done <= a {
+                len_q1 -= 1;
+                next_done += p.service_ns;
+            }
+            if len_q1 == 0 {
+                next_done = a + p.service_ns;
+            }
+            let slow_admit = len_q1 < p.max_q1;
+            if slow_admit {
+                len_q1 += 1;
+            }
+            assert_eq!(fast.admit(p, a), slow_admit);
+            assert_eq!((fast.len_q1, fast.next_done_ns), (len_q1, next_done));
+        }
+    }
+
+    #[test]
+    fn overflow_curve_matches_scalar_decompose() {
+        let w = bursty();
+        let delta = dms(10);
+        let grid: Vec<Iops> = [120.0, 250.0, 400.0, 800.0, 2000.0, 9000.0]
+            .map(Iops::new)
+            .to_vec();
+        let fused = overflow_curve(&w, &grid, delta);
+        for (i, &c) in grid.iter().enumerate() {
+            assert_eq!(fused[i], decompose(&w, c, delta).overflow_count(), "C={c}");
+        }
+    }
+
+    #[test]
+    fn overflow_curve_handles_degenerate_and_empty() {
+        let w = bursty();
+        // 10 IOPS × 10 ms < 1 slot: degenerate, everything overflows.
+        let grid = [Iops::new(10.0), Iops::new(500.0)];
+        let fused = overflow_curve(&w, &grid, dms(10));
+        assert_eq!(fused[0], w.len() as u64);
+        assert_eq!(fused[1], decompose(&w, grid[1], dms(10)).overflow_count());
+        assert_eq!(
+            overflow_curve(&Workload::new(), &grid, dms(10)),
+            vec![0, 0],
+            "empty workload overflows nothing at any capacity"
+        );
+        assert!(overflow_curve(&w, &[], dms(10)).is_empty());
+    }
+
+    #[test]
+    fn overflow_is_monotone_in_capacity() {
+        // The property the fused budget probe's shared exit leans on.
+        let w = bursty();
+        let grid: Vec<Iops> = (1..60).map(|i| Iops::new(i as f64 * 50.0)).collect();
+        let curve = overflow_curve(&w, &grid, dms(10));
+        assert!(
+            curve.windows(2).all(|p| p[1] <= p[0]),
+            "overflow must not increase with capacity: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn budget_curve_matches_scalar_probe() {
+        let w = bursty();
+        let delta = dms(10);
+        let grid: Vec<Iops> = [150.0, 300.0, 600.0, 1200.0, 6000.0]
+            .map(Iops::new)
+            .to_vec();
+        for budget in [0u64, 5, 40, w.len() as u64] {
+            let fused = within_miss_budget_curve(&w, &grid, delta, budget);
+            for (i, &c) in grid.iter().enumerate() {
+                assert_eq!(
+                    fused[i],
+                    within_miss_budget(&w, c, delta, budget),
+                    "C={c} budget={budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_curve_degenerate_capacity_needs_budget_for_all() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 4]);
+        let grid = [Iops::new(10.0)]; // degenerate at 10 ms
+        assert_eq!(within_miss_budget_curve(&w, &grid, dms(10), 3), vec![false]);
+        assert_eq!(within_miss_budget_curve(&w, &grid, dms(10), 4), vec![true]);
+    }
+
+    #[test]
+    fn curves_are_order_insensitive() {
+        // Lanes carry their original index: a shuffled grid returns the
+        // same values in the shuffled positions.
+        let w = bursty();
+        let delta = dms(10);
+        let asc: Vec<Iops> = [150.0, 400.0, 900.0].map(Iops::new).to_vec();
+        let desc: Vec<Iops> = [900.0, 400.0, 150.0].map(Iops::new).to_vec();
+        let a = overflow_curve(&w, &asc, delta);
+        let d = overflow_curve(&w, &desc, delta);
+        assert_eq!(a[0], d[2]);
+        assert_eq!(a[1], d[1]);
+        assert_eq!(a[2], d[0]);
+    }
+
+    #[test]
+    fn tiling_boundary_is_seamless() {
+        // A workload longer than one tile: the state must carry across
+        // tile boundaries exactly.
+        let w = Workload::from_arrivals((0..(TILE as u64 * 2 + 37)).map(|i| ms(i / 3)));
+        let delta = dms(10);
+        let grid = [Iops::new(250.0), Iops::new(3500.0)];
+        let fused = overflow_curve(&w, &grid, delta);
+        for (i, &c) in grid.iter().enumerate() {
+            assert_eq!(fused[i], decompose(&w, c, delta).overflow_count(), "C={c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn overflow_curve_rejects_zero_deadline() {
+        let _ = overflow_curve(&Workload::new(), &[Iops::new(100.0)], SimDuration::ZERO);
+    }
+}

@@ -59,6 +59,7 @@ mod consolidate;
 mod edf;
 mod fair;
 mod graduated;
+mod kernel;
 mod miser;
 mod offline;
 mod planner;
@@ -76,13 +77,14 @@ pub use consolidate::{merge_all, ConsolidationReport, ConsolidationStudy};
 pub use edf::{EdfScheduler, LatePolicy};
 pub use fair::FairQueueScheduler;
 pub use graduated::GraduatedScheduler;
+pub use kernel::{overflow_curve, within_miss_budget_curve};
 pub use miser::MiserScheduler;
 pub use offline::{rtt_period_bound, slotted_lower_bound, OptimalityCheck};
 pub use planner::{CapacityPlanner, SlaQuote};
 pub use pricing::{PricingModel, Quote};
 pub use rtt::{
-    decompose, decompose_with_budget, optimal_drop_lower_bound, within_miss_budget, Decomposition,
-    RttClassifier,
+    decompose, decompose_with_budget, optimal_drop_lower_bound, overflow_count, within_miss_budget,
+    DecomposeScratch, Decomposition, RttClassifier, ScratchDecomposition,
 };
 pub use shaper::{RecombinePolicy, WorkloadShaper};
 pub use sla::{sla_from_fractions, SlaDistribution, SlaVerification, TargetOutcome};

@@ -8,9 +8,11 @@
 
 use std::fmt;
 
+use gqos_parallel::WorkerPool;
 use gqos_trace::{Iops, SimDuration, Workload};
 
-use crate::rtt::{decompose, within_miss_budget};
+use crate::kernel::overflow_curve;
+use crate::rtt::{overflow_count, within_miss_budget};
 use crate::target::{Provision, QosTarget};
 
 /// Plans capacity for one workload at a fixed deadline.
@@ -52,11 +54,35 @@ impl<'w> CapacityPlanner<'w> {
 
     /// Fraction of the workload RTT places in the primary class at
     /// `capacity` (1.0 for an empty workload).
+    ///
+    /// Runs on the counting kernel ([`overflow_count`]): one allocation-free
+    /// pass over the arrival column, no assignment vector.
     pub fn fraction_guaranteed(&self, capacity: Iops) -> f64 {
         if capacity.requests_within(self.deadline) == 0 {
             return if self.workload.is_empty() { 1.0 } else { 0.0 };
         }
-        decompose(self.workload, capacity, self.deadline).primary_fraction()
+        let total = self.workload.len() as u64;
+        if total == 0 {
+            return 1.0;
+        }
+        let primary = total - overflow_count(self.workload, capacity, self.deadline);
+        primary as f64 / total as f64
+    }
+
+    /// [`fraction_guaranteed`](Self::fraction_guaranteed) for a whole
+    /// capacity grid, evaluated by the fused [`overflow_curve`] kernel in a
+    /// single pass over the workload. Degenerate capacities (`⌊C·δ⌋ = 0`)
+    /// yield 0.0 (1.0 on an empty workload), exactly as the scalar method
+    /// reports them.
+    pub fn fraction_curve(&self, capacities: &[Iops]) -> Vec<f64> {
+        let total = self.workload.len() as u64;
+        if total == 0 {
+            return vec![1.0; capacities.len()];
+        }
+        overflow_curve(self.workload, capacities, self.deadline)
+            .into_iter()
+            .map(|overflow| (total - overflow) as f64 / total as f64)
+            .collect()
     }
 
     /// The minimum integer capacity (IOPS) guaranteeing at least `fraction`
@@ -184,6 +210,28 @@ impl<'w> CapacityPlanner<'w> {
             .map(|q| q.expect("every entry filled"))
             .collect()
     }
+
+    /// [`menu`](Self::menu) with the fractions fanned across `pool` —
+    /// byte-identical quotes, different wall-clock shape.
+    ///
+    /// Each fraction's search runs cold (no warm bracket: warm-starting is
+    /// inherently sequential), so the parallel sweep does more total probe
+    /// work than the serial one; it wins when the pool's width outweighs
+    /// the redundant doubling phases — wide menus over long traces. Both
+    /// paths return the exact minimal integer capacity per fraction and
+    /// [`WorkerPool::map`] assembles results positionally, so the output is
+    /// guaranteed identical to the serial menu's, entry for entry (see
+    /// `parallel_menu_is_byte_identical` in the tests). With a serial pool
+    /// this *is* the warm-started sweep.
+    pub fn menu_parallel(&self, fractions: &[f64], pool: &WorkerPool) -> Vec<SlaQuote> {
+        if pool.is_serial() || fractions.len() <= 1 {
+            return self.menu(fractions);
+        }
+        pool.map(fractions.to_vec(), |fraction| SlaQuote {
+            target: QosTarget::new(fraction, self.deadline),
+            cmin: Iops::new(self.search_cmin(fraction, None) as f64),
+        })
+    }
 }
 
 /// One entry of an SLA menu: a target and its minimum capacity.
@@ -295,6 +343,48 @@ mod tests {
         let c_tight = CapacityPlanner::new(&w, dms(5)).min_capacity(0.95);
         let c_loose = CapacityPlanner::new(&w, dms(50)).min_capacity(0.95);
         assert!(c_loose.get() < c_tight.get());
+    }
+
+    #[test]
+    fn fraction_curve_matches_scalar_fraction_guaranteed() {
+        let mut arrivals: Vec<SimTime> = (0..300).map(|i| ms(i * 9)).collect();
+        arrivals.extend(vec![ms(1200); 35]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        // Includes a degenerate capacity (50 × 10 ms < 1 slot).
+        let grid: Vec<Iops> = [50.0, 120.0, 300.0, 700.0, 2500.0].map(Iops::new).to_vec();
+        let curve = p.fraction_curve(&grid);
+        for (i, &c) in grid.iter().enumerate() {
+            assert_eq!(curve[i], p.fraction_guaranteed(c), "C={c}");
+        }
+        let empty = Workload::new();
+        let pe = CapacityPlanner::new(&empty, dms(10));
+        assert_eq!(pe.fraction_curve(&grid), vec![1.0; grid.len()]);
+    }
+
+    #[test]
+    fn parallel_menu_is_byte_identical() {
+        let mut arrivals: Vec<SimTime> = (0..400).map(|i| ms(i * 6)).collect();
+        arrivals.extend(vec![ms(900); 50]);
+        arrivals.extend(vec![ms(2100); 20]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        // Deliberately unsorted fractions: order must be preserved.
+        let fractions = [0.99, 0.90, 1.0, 0.95, 0.999];
+        let serial = p.menu(&fractions);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = gqos_parallel::WorkerPool::new(threads);
+            let parallel = p.menu_parallel(&fractions, &pool);
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.target, b.target, "{threads} threads");
+                assert_eq!(
+                    a.cmin.get().to_bits(),
+                    b.cmin.get().to_bits(),
+                    "{threads} threads: quotes must be byte-identical"
+                );
+            }
+        }
     }
 
     #[test]

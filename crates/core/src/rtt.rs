@@ -8,11 +8,20 @@
 //! or offline, can place more requests in the deadline-meeting class
 //! (Lemmas 1–3 of the paper; verified against brute force and the Lemma 1
 //! bound in this module's tests).
+//!
+//! The offline entry points ([`decompose`], [`within_miss_budget`],
+//! [`overflow_count`], [`DecomposeScratch`]) run on the crate's
+//! allocation-free integer kernels, scanning the workload's cached columnar
+//! arrival view ([`Workload::arrival_column`]) instead of the request
+//! structs; the online [`RttClassifier`] remains the per-request admission
+//! rule schedulers embed.
 
 use std::fmt;
 
 use gqos_sim::ServiceClass;
-use gqos_trace::{Iops, Request, SimDuration, SimTime, Workload};
+use gqos_trace::{Iops, Request, SimDuration, Workload};
+
+use crate::kernel::{scan_overflow, scan_within_budget, RttParams, RttState};
 
 /// Online RTT classifier: the bounded-queue admission rule, reusable by any
 /// recombination scheduler.
@@ -183,6 +192,15 @@ impl Decomposition {
         self.deadline
     }
 
+    /// Recycles this decomposition's assignment storage into a
+    /// [`DecomposeScratch`], so a caller that has finished reading the
+    /// result can run the next probe without a fresh allocation.
+    pub fn into_scratch(self) -> DecomposeScratch {
+        DecomposeScratch {
+            assignments: self.assignments,
+        }
+    }
+
     /// Splits `workload` into its primary and overflow sub-workloads
     /// (re-identified), in that order.
     ///
@@ -245,19 +263,12 @@ impl fmt::Display for Decomposition {
 /// assert_eq!(d.overflow_count(), 1);
 /// ```
 pub fn decompose(workload: &Workload, capacity: Iops, deadline: SimDuration) -> Decomposition {
-    let mut assignments = Vec::with_capacity(workload.len());
-    let mut primary = 0u64;
-    let mut overflow = 0u64;
-    rtt_scan(workload, capacity, deadline, |class| {
-        match class {
-            ServiceClass::PRIMARY => primary += 1,
-            _ => overflow += 1,
-        }
-        assignments.push(class);
-        true
-    });
+    let mut scratch = DecomposeScratch::new();
+    let (primary, overflow) = scratch
+        .run(workload, RttParams::new(capacity, deadline), u64::MAX)
+        .expect("unbudgeted scan always completes");
     Decomposition {
-        assignments,
+        assignments: scratch.assignments,
         primary,
         overflow,
         capacity,
@@ -298,24 +309,11 @@ pub fn decompose_with_budget(
     deadline: SimDuration,
     budget: u64,
 ) -> Option<Decomposition> {
-    let mut assignments = Vec::with_capacity(workload.len());
-    let mut primary = 0u64;
-    let mut overflow = 0u64;
-    let complete = rtt_scan(workload, capacity, deadline, |class| {
-        match class {
-            ServiceClass::PRIMARY => primary += 1,
-            _ => {
-                overflow += 1;
-                if overflow > budget {
-                    return false;
-                }
-            }
-        }
-        assignments.push(class);
-        true
-    });
-    complete.then_some(Decomposition {
-        assignments,
+    let mut scratch = DecomposeScratch::new();
+    let counts = scratch.run(workload, RttParams::new(capacity, deadline), budget)?;
+    let (primary, overflow) = counts;
+    Some(Decomposition {
+        assignments: scratch.assignments,
         primary,
         overflow,
         capacity,
@@ -337,51 +335,196 @@ pub fn within_miss_budget(
     deadline: SimDuration,
     budget: u64,
 ) -> bool {
-    let mut overflow = 0u64;
-    rtt_scan(workload, capacity, deadline, |class| {
-        if class != ServiceClass::PRIMARY {
-            overflow += 1;
-            if overflow > budget {
-                return false;
-            }
-        }
-        true
-    })
+    scan_within_budget(workload, RttParams::new(capacity, deadline), budget)
 }
 
-/// Algorithm 1's scan loop, shared by every decomposition entry point:
-/// emulates the dedicated primary server's completions and hands each
-/// request's class to `visit`. Stops (returning `false`) when `visit`
-/// declines to continue.
-#[inline]
-fn rtt_scan(
-    workload: &Workload,
-    capacity: Iops,
-    deadline: SimDuration,
-    mut visit: impl FnMut(ServiceClass) -> bool,
-) -> bool {
-    let mut rtt = RttClassifier::new(capacity, deadline);
-    let service = capacity.service_time().max(SimDuration::from_nanos(1));
-    // While busy the primary server finishes one request every `service`;
-    // `next_done` is the completion instant of the request at the head of
-    // Q1.
-    let mut next_done = SimTime::ZERO;
-    for r in workload.iter() {
-        // Drain completions up to this arrival.
-        while rtt.len_q1() > 0 && next_done <= r.arrival {
-            rtt.primary_departed();
-            next_done += service;
-        }
-        if rtt.len_q1() == 0 {
-            // Server idle: the next admitted request starts service on
-            // arrival.
-            next_done = r.arrival + service;
-        }
-        if !visit(rtt.classify()) {
-            return false;
+/// The overflow count of [`decompose`] without materialising the
+/// decomposition — a single allocation-free pass over the arrival column,
+/// used by [`CapacityPlanner::fraction_guaranteed`](crate::CapacityPlanner::fraction_guaranteed).
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see [`RttClassifier::new`]).
+pub fn overflow_count(workload: &Workload, capacity: Iops, deadline: SimDuration) -> u64 {
+    scan_overflow(workload, RttParams::new(capacity, deadline))
+}
+
+/// Reusable storage for offline decompositions: run many probes, allocate
+/// (at most) once.
+///
+/// [`decompose`] allocates a fresh assignment vector per call — fine for a
+/// one-shot analysis, wasteful inside a planner loop or an experiment grid
+/// that decomposes the same trace at hundreds of capacities. A scratch
+/// holds the vector across calls; each call clears and refills it, growing
+/// only when a workload is larger than anything seen before.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::{decompose, DecomposeScratch};
+/// use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+///
+/// let w = Workload::from_arrivals(vec![SimTime::ZERO; 3]);
+/// let (c, d) = (Iops::new(100.0), SimDuration::from_millis(20));
+/// let mut scratch = DecomposeScratch::new();
+/// let view = scratch.decompose(&w, c, d);
+/// assert_eq!(view.overflow_count(), 1);
+/// assert_eq!(view.assignments(), decompose(&w, c, d).assignments());
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct DecomposeScratch {
+    assignments: Vec<ServiceClass>,
+}
+
+impl DecomposeScratch {
+    /// Creates an empty scratch (first use allocates).
+    pub fn new() -> Self {
+        DecomposeScratch::default()
+    }
+
+    /// Creates a scratch pre-sized for workloads of `capacity` requests.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DecomposeScratch {
+            assignments: Vec::with_capacity(capacity),
         }
     }
-    true
+
+    /// Decomposes `workload` into this scratch, returning a borrowed view
+    /// with the same contents [`decompose`] would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see
+    /// [`RttClassifier::new`]).
+    pub fn decompose(
+        &mut self,
+        workload: &Workload,
+        capacity: Iops,
+        deadline: SimDuration,
+    ) -> ScratchDecomposition<'_> {
+        let (primary, overflow) = self
+            .run(workload, RttParams::new(capacity, deadline), u64::MAX)
+            .expect("unbudgeted scan always completes");
+        ScratchDecomposition {
+            assignments: &self.assignments,
+            primary,
+            overflow,
+            capacity,
+            deadline,
+        }
+    }
+
+    /// Budgeted variant: like [`decompose_with_budget`], `None` as soon as
+    /// the overflow count exceeds `budget` (the scratch then holds only the
+    /// scanned prefix and is ready for reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see
+    /// [`RttClassifier::new`]).
+    pub fn decompose_with_budget(
+        &mut self,
+        workload: &Workload,
+        capacity: Iops,
+        deadline: SimDuration,
+        budget: u64,
+    ) -> Option<ScratchDecomposition<'_>> {
+        let (primary, overflow) = self.run(workload, RttParams::new(capacity, deadline), budget)?;
+        Some(ScratchDecomposition {
+            assignments: &self.assignments,
+            primary,
+            overflow,
+            capacity,
+            deadline,
+        })
+    }
+
+    /// Algorithm 1 over the cached arrival column: fills `assignments` and
+    /// returns `(primary, overflow)` counts, or `None` once overflow
+    /// exceeds `budget`.
+    fn run(&mut self, workload: &Workload, params: RttParams, budget: u64) -> Option<(u64, u64)> {
+        self.assignments.clear();
+        let arrivals = workload.arrival_column().nanos();
+        self.assignments.reserve(arrivals.len());
+        let mut state = RttState::default();
+        let mut primary = 0u64;
+        let mut overflow = 0u64;
+        for &arrival in arrivals {
+            if state.admit(params, arrival) {
+                primary += 1;
+                self.assignments.push(ServiceClass::PRIMARY);
+            } else {
+                overflow += 1;
+                if overflow > budget {
+                    return None;
+                }
+                self.assignments.push(ServiceClass::OVERFLOW);
+            }
+        }
+        Some((primary, overflow))
+    }
+}
+
+/// A decomposition whose assignment storage is borrowed from a
+/// [`DecomposeScratch`] — the counts and accessors of [`Decomposition`]
+/// without owning the vector.
+#[derive(Copy, Clone, Debug)]
+pub struct ScratchDecomposition<'s> {
+    assignments: &'s [ServiceClass],
+    primary: u64,
+    overflow: u64,
+    capacity: Iops,
+    deadline: SimDuration,
+}
+
+impl ScratchDecomposition<'_> {
+    /// Class of each request, indexed by
+    /// [`RequestId`](gqos_trace::RequestId) position.
+    pub fn assignments(&self) -> &[ServiceClass] {
+        self.assignments
+    }
+
+    /// Number of requests admitted to the primary class.
+    pub fn primary_count(&self) -> u64 {
+        self.primary
+    }
+
+    /// Number of requests diverted to the overflow class.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of the workload in the primary class, in `[0, 1]`
+    /// (1.0 for an empty workload).
+    pub fn primary_fraction(&self) -> f64 {
+        let total = self.primary + self.overflow;
+        if total == 0 {
+            1.0
+        } else {
+            self.primary as f64 / total as f64
+        }
+    }
+
+    /// The capacity used for the decomposition.
+    pub fn capacity(&self) -> Iops {
+        self.capacity
+    }
+
+    /// The deadline used for the decomposition.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+
+    /// An owning copy, detached from the scratch.
+    pub fn to_decomposition(&self) -> Decomposition {
+        Decomposition {
+            assignments: self.assignments.to_vec(),
+            primary: self.primary,
+            overflow: self.overflow,
+            capacity: self.capacity,
+            deadline: self.deadline,
+        }
+    }
 }
 
 /// The smallest number of requests that must be diverted at this capacity
@@ -395,6 +538,7 @@ pub fn optimal_drop_lower_bound(workload: &Workload, capacity: Iops, deadline: S
 mod tests {
     use super::*;
     use gqos_sim::{simulate, FcfsScheduler, FixedRateServer};
+    use gqos_trace::SimTime;
 
     fn ms(v: u64) -> SimTime {
         SimTime::from_millis(v)
@@ -577,6 +721,67 @@ mod tests {
         let d = decompose(&w, Iops::new(150.0), dms(20));
         assert_eq!(d.capacity().get(), 150.0);
         assert_eq!(d.deadline(), dms(20));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decompose() {
+        let bursty = {
+            let mut arrivals: Vec<SimTime> = (0..100).map(|i| ms(i * 3)).collect();
+            arrivals.extend(vec![ms(50); 15]);
+            Workload::from_arrivals(arrivals)
+        };
+        let small = Workload::from_arrivals(vec![SimTime::ZERO; 4]);
+        let (c, delta) = (Iops::new(400.0), dms(10));
+        let mut scratch = DecomposeScratch::with_capacity(8);
+        for w in [&bursty, &small, &bursty] {
+            let fresh = decompose(w, c, delta);
+            let view = scratch.decompose(w, c, delta);
+            assert_eq!(view.assignments(), fresh.assignments());
+            assert_eq!(view.primary_count(), fresh.primary_count());
+            assert_eq!(view.overflow_count(), fresh.overflow_count());
+            assert_eq!(view.primary_fraction(), fresh.primary_fraction());
+            assert_eq!(view.capacity(), c);
+            assert_eq!(view.deadline(), delta);
+            assert_eq!(view.to_decomposition().assignments(), fresh.assignments());
+        }
+    }
+
+    #[test]
+    fn scratch_budget_abort_then_reuse() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+        let (c, delta) = (Iops::new(300.0), dms(10)); // 3 slots, 7 overflow
+        let mut scratch = DecomposeScratch::new();
+        assert!(scratch.decompose_with_budget(&w, c, delta, 6).is_none());
+        let ok = scratch
+            .decompose_with_budget(&w, c, delta, 7)
+            .expect("within budget");
+        assert_eq!(ok.overflow_count(), 7);
+        assert_eq!(ok.assignments(), decompose(&w, c, delta).assignments());
+    }
+
+    #[test]
+    fn into_scratch_recycles_storage() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 64]);
+        let d = decompose(&w, Iops::new(300.0), dms(10));
+        let expected = d.assignments().to_vec();
+        let mut scratch = d.into_scratch();
+        assert!(scratch.assignments.capacity() >= 64, "storage kept");
+        let view = scratch.decompose(&w, Iops::new(300.0), dms(10));
+        assert_eq!(view.assignments(), expected.as_slice());
+    }
+
+    #[test]
+    fn overflow_count_agrees_with_decompose() {
+        let mut arrivals: Vec<SimTime> = (0..200).map(|i| ms(i * 4)).collect();
+        arrivals.extend(vec![ms(111); 30]);
+        let w = Workload::from_arrivals(arrivals);
+        for c in [150.0, 400.0, 1200.0] {
+            let c = Iops::new(c);
+            assert_eq!(
+                overflow_count(&w, c, dms(10)),
+                decompose(&w, c, dms(10)).overflow_count()
+            );
+        }
     }
 
     /// Brute-force optimal decomposition for tiny workloads: try every

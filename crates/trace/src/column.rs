@@ -1,0 +1,156 @@
+//! Columnar (structure-of-arrays) projection of a workload's arrival times.
+//!
+//! The hot analytical kernels — RTT decomposition, budgeted feasibility
+//! probes, capacity-grid sweeps — only ever look at *arrival instants*, yet
+//! the row-oriented [`Workload`] stores full [`Request`](crate::Request)
+//! records (arrival, id, block, kind, bytes). An [`ArrivalColumn`] strips the
+//! stream down to a dense, sorted `u64` nanosecond slice so a probe touches
+//! 8 bytes per request instead of a whole struct, and iterates a branch-free
+//! integer array the optimiser can keep in cache.
+//!
+//! Columns are built once per workload and memoised by
+//! [`Workload::arrival_column`]; constructing one directly is only needed
+//! when no `Workload` exists (tests, ad-hoc kernels).
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::workload::Workload;
+
+/// A dense, arrival-ordered column of request arrival times in nanoseconds.
+///
+/// Invariant: the slice is sorted ascending (ties allowed), mirroring the
+/// workload ordering invariant, and `nanos()[i]` is the arrival instant of
+/// request `i` of the source workload.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_trace::{ArrivalColumn, SimTime, Workload};
+///
+/// let w = Workload::from_arrivals([SimTime::from_millis(2), SimTime::from_millis(7)]);
+/// let col = ArrivalColumn::new(&w);
+/// assert_eq!(col.nanos(), &[2_000_000, 7_000_000]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArrivalColumn {
+    nanos: Box<[u64]>,
+}
+
+impl ArrivalColumn {
+    /// Projects `workload` onto its arrival-time column.
+    ///
+    /// Prefer [`Workload::arrival_column`], which computes the column once
+    /// and caches it for the workload's lifetime.
+    pub fn new(workload: &Workload) -> Self {
+        ArrivalColumn {
+            nanos: workload
+                .iter()
+                .map(|r| r.arrival.as_nanos())
+                .collect::<Vec<u64>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Builds a column from raw nanosecond arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nanos` is not sorted ascending — kernels rely on the
+    /// ordering invariant.
+    pub fn from_nanos(nanos: Vec<u64>) -> Self {
+        assert!(
+            nanos.windows(2).all(|p| p[0] <= p[1]),
+            "arrival column must be sorted ascending"
+        );
+        ArrivalColumn {
+            nanos: nanos.into_boxed_slice(),
+        }
+    }
+
+    /// The sorted arrival instants in nanoseconds — the kernel input.
+    pub fn nanos(&self) -> &[u64] {
+        &self.nanos
+    }
+
+    /// Number of arrivals in the column.
+    pub fn len(&self) -> usize {
+        self.nanos.len()
+    }
+
+    /// `true` if the column holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    /// Arrival instant of request `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<SimTime> {
+        self.nanos.get(i).map(|&n| SimTime::from_nanos(n))
+    }
+}
+
+impl fmt::Debug for ArrivalColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArrivalColumn")
+            .field("len", &self.len())
+            .field("first_ns", &self.nanos.first())
+            .field("last_ns", &self.nanos.last())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn projects_arrivals_in_order() {
+        let w = Workload::from_arrivals([ms(5), ms(1), ms(3), ms(3)]);
+        let col = ArrivalColumn::new(&w);
+        assert_eq!(col.nanos(), &[1_000_000, 3_000_000, 3_000_000, 5_000_000]);
+        assert_eq!(col.len(), 4);
+        assert!(!col.is_empty());
+        assert_eq!(col.get(0), Some(ms(1)));
+        assert_eq!(col.get(4), None);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = ArrivalColumn::new(&Workload::new());
+        assert!(col.is_empty());
+        assert_eq!(col.nanos(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn from_nanos_accepts_sorted() {
+        let col = ArrivalColumn::from_nanos(vec![0, 0, 7, 9]);
+        assert_eq!(col.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn from_nanos_rejects_unsorted() {
+        let _ = ArrivalColumn::from_nanos(vec![5, 3]);
+    }
+
+    #[test]
+    fn matches_workload_row_by_row() {
+        let w = Workload::from_arrivals((0..100).map(|i| ms(i * 7 % 50)));
+        let col = ArrivalColumn::new(&w);
+        for (i, r) in w.iter().enumerate() {
+            assert_eq!(col.nanos()[i], r.arrival.as_nanos());
+        }
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let col = ArrivalColumn::new(&Workload::from_arrivals([ms(1), ms(2)]));
+        let text = format!("{col:?}");
+        assert!(text.contains("len"));
+        assert!(!text.contains("2000000,")); // no full element dump
+    }
+}

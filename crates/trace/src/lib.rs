@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod column;
 mod curve;
 pub mod envelope;
 pub mod gen;
@@ -46,6 +47,7 @@ mod time;
 mod window;
 mod workload;
 
+pub use column::ArrivalColumn;
 pub use curve::{ArrivalCurve, BusyPeriod, ServiceAnalysis};
 pub use request::{LogicalBlock, Request, RequestId, RequestKind, DEFAULT_REQUEST_BYTES};
 pub use stats::{BurstEpisode, BurstStats};

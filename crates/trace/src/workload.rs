@@ -7,9 +7,26 @@
 
 use std::fmt;
 use std::slice;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::column::ArrivalColumn;
 use crate::request::{Request, RequestId};
+use crate::summary::TraceSummary;
 use crate::time::{SimDuration, SimTime};
+
+/// Lazily-computed per-workload aggregates, shared by clones.
+///
+/// The requests of a [`Workload`] are immutable once constructed (every
+/// transform builds a new workload; [`Extend`] swaps in a fresh cache), so
+/// derived views can be computed once and handed out by reference: the
+/// [`ArrivalColumn`] that every decomposition kernel scans, and the
+/// [`TraceSummary`] statistics that experiment cells would otherwise
+/// recompute per (deadline, fraction) grid point.
+#[derive(Default, Debug)]
+struct WorkloadCache {
+    column: OnceLock<ArrivalColumn>,
+    summaries: Mutex<Vec<(SimDuration, Arc<TraceSummary>)>>,
+}
 
 /// An immutable, arrival-ordered sequence of requests.
 ///
@@ -30,10 +47,22 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(w.len(), 3);
 /// assert_eq!(w.span(), SimDuration::from_millis(5));
 /// ```
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct Workload {
     requests: Vec<Request>,
+    /// Memoised derived views; never compared, shared across clones.
+    cache: Arc<WorkloadCache>,
 }
+
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is the request sequence alone; the cache is a derived
+        // view and clones may or may not share one.
+        self.requests == other.requests
+    }
+}
+
+impl Eq for Workload {}
 
 impl Workload {
     /// Creates an empty workload.
@@ -65,7 +94,36 @@ impl Workload {
         for (i, r) in requests.iter_mut().enumerate() {
             r.id = RequestId::new(i as u64);
         }
-        Workload { requests }
+        Workload {
+            requests,
+            cache: Arc::default(),
+        }
+    }
+
+    /// The columnar arrival-time view of this workload, computed on first
+    /// use and cached for the workload's lifetime (clones share the cache).
+    ///
+    /// This is the input of the allocation-free decomposition kernels in
+    /// `gqos-core`: a sorted `u64` nanosecond slice the scan walks instead
+    /// of the full request structs.
+    pub fn arrival_column(&self) -> &ArrivalColumn {
+        self.cache.column.get_or_init(|| ArrivalColumn::new(self))
+    }
+
+    /// A [`TraceSummary`] over rate windows of width `window`, memoised per
+    /// distinct window so repeated experiment cells profile the trace once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (propagated from [`TraceSummary::new`]).
+    pub fn cached_summary(&self, window: SimDuration) -> Arc<TraceSummary> {
+        let mut summaries = self.cache.summaries.lock().expect("summary cache poisoned");
+        if let Some((_, summary)) = summaries.iter().find(|(w, _)| *w == window) {
+            return Arc::clone(summary);
+        }
+        let summary = Arc::new(TraceSummary::new(self, window));
+        summaries.push((window, Arc::clone(&summary)));
+        summary
     }
 
     /// Number of requests.
@@ -246,6 +304,10 @@ impl Extend<Request> for Workload {
         for (i, r) in self.requests.iter_mut().enumerate() {
             r.id = RequestId::new(i as u64);
         }
+        // The requests changed: drop the memoised views. A fresh cache (not
+        // a clear-in-place) so clones sharing the old Arc keep their still
+        // valid views of the pre-extend workload.
+        self.cache = Arc::default();
     }
 }
 
@@ -553,6 +615,54 @@ mod tests {
         let times: Vec<_> = joined.iter().map(|r| r.arrival).collect();
         // b's first request lands 100 ms after a's last (at 110 ms).
         assert_eq!(times, vec![ms(0), ms(10), ms(110), ms(112)]);
+    }
+
+    #[test]
+    fn arrival_column_is_cached_and_shared_by_clones() {
+        let w = Workload::from_arrivals([ms(1), ms(4), ms(9)]);
+        let first = w.arrival_column() as *const _;
+        let again = w.arrival_column() as *const _;
+        assert_eq!(first, again, "column must be computed once");
+        assert_eq!(
+            w.arrival_column().nanos(),
+            &[1_000_000, 4_000_000, 9_000_000]
+        );
+        let clone = w.clone();
+        assert_eq!(clone.arrival_column() as *const _, first, "clones share");
+    }
+
+    #[test]
+    fn extend_invalidates_cached_views() {
+        let mut w = Workload::from_arrivals([ms(5)]);
+        assert_eq!(w.arrival_column().nanos(), &[5_000_000]);
+        let snapshot = w.clone();
+        w.extend([Request::at(ms(1))]);
+        assert_eq!(w.arrival_column().nanos(), &[1_000_000, 5_000_000]);
+        // The pre-extend clone still sees its own (valid) cached view.
+        assert_eq!(snapshot.arrival_column().nanos(), &[5_000_000]);
+    }
+
+    #[test]
+    fn cached_summary_memoises_per_window() {
+        let w = Workload::from_arrivals((0..100).map(|i| ms(i * 10)));
+        let a = w.cached_summary(SimDuration::from_millis(100));
+        let b = w.cached_summary(SimDuration::from_millis(100));
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same window reuses");
+        let c = w.cached_summary(SimDuration::from_millis(50));
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "distinct windows differ");
+        assert_eq!(a.requests(), 100);
+        assert_eq!(
+            *a,
+            crate::TraceSummary::new(&w, SimDuration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let a = Workload::from_arrivals([ms(1), ms(2)]);
+        let b = Workload::from_arrivals([ms(1), ms(2)]);
+        let _ = a.arrival_column(); // populate one side only
+        assert_eq!(a, b);
     }
 
     #[test]

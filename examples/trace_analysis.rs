@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example trace_analysis`
 
 use gqos::trace::gen::profiles::TraceProfile;
-use gqos::trace::stats::{burst_episodes, hurst_exponent};
-use gqos::trace::{spc, BurstStats, RateSeries, ServiceAnalysis};
+use gqos::trace::stats::burst_episodes;
+use gqos::trace::{spc, RateSeries, ServiceAnalysis};
 use gqos::{Iops, SimDuration};
 
 fn main() {
@@ -22,9 +22,11 @@ fn main() {
     );
     for profile in TraceProfile::ALL {
         let w = profile.generate(span, 42);
-        let series = RateSeries::new(&w, SimDuration::from_millis(100));
-        let stats = BurstStats::new(&series);
-        let hurst = hurst_exponent(series.counts())
+        // The memoised profile: repeated lookups at the same window reuse
+        // the one computed here.
+        let stats = w.cached_summary(SimDuration::from_millis(100));
+        let hurst = stats
+            .hurst()
             .map(|h| format!("{h:.2}"))
             .unwrap_or_else(|| "-".into());
         println!(
