@@ -1,0 +1,6 @@
+//! Sweeps fault severity against the four recombination policies with the
+//! graduated-degradation control loop active.
+
+fn main() {
+    gqos_bench::experiments::fault_sweep::run(&gqos_bench::ExpConfig::from_env());
+}

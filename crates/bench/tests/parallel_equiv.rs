@@ -4,7 +4,7 @@
 
 use std::fs;
 
-use gqos_bench::experiments::{fig2, fig4, fig5, fig6, fig7, fig8, table1};
+use gqos_bench::experiments::{fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, table1};
 use gqos_bench::ExpConfig;
 use gqos_trace::SimDuration;
 
@@ -69,4 +69,51 @@ fn fig7_serial_parallel_identical() {
 #[test]
 fn fig8_serial_parallel_identical() {
     assert_equivalent("fig8", "fig8_diff_mux", fig8::report);
+}
+
+#[test]
+fn fault_sweep_serial_parallel_identical() {
+    assert_equivalent("fault_sweep", "fault_sweep", fault_sweep::report);
+}
+
+/// The fault-free golden contract at the harness level: severity 0 cells of
+/// the sweep (whose generated schedule is empty) must reproduce the plain,
+/// unadapted run of each policy byte-for-byte — same achieved fraction,
+/// same class split, no renegotiation.
+#[test]
+fn fault_sweep_severity_zero_matches_plain_runs() {
+    use gqos_core::{CapacityPlanner, Provision, WorkloadShaper};
+    use gqos_sim::ServiceClass;
+    use gqos_trace::gen::profiles::TraceProfile;
+
+    let cfg = cfg(1, "unused");
+    let deadline = SimDuration::from_millis(fault_sweep::SWEEP_DEADLINE_MS);
+    let workload = TraceProfile::WebSearch.generate(cfg.span, cfg.seed);
+    let planner = CapacityPlanner::new(&workload, deadline);
+    let provision = Provision::with_default_surplus(
+        planner.min_capacity(fault_sweep::SWEEP_FRACTION),
+        deadline,
+    );
+    let shaper = WorkloadShaper::new(provision, deadline);
+
+    let cells = fault_sweep::compute(&cfg);
+    for cell in cells.iter().filter(|c| c.severity == 0.0) {
+        let plain = shaper.run(&workload, cell.policy);
+        assert_eq!(
+            cell.achieved_fraction,
+            plain.stats().fraction_within(deadline),
+            "{}: severity-0 achieved fraction diverged from plain run",
+            cell.policy
+        );
+        assert_eq!(cell.q1_completed, plain.completed_in(ServiceClass::PRIMARY));
+        assert_eq!(
+            cell.q2_completed,
+            plain.completed_in(ServiceClass::OVERFLOW)
+        );
+        assert_eq!(
+            cell.min_negotiated_factor, 1.0,
+            "{}: controller fired on a healthy server",
+            cell.policy
+        );
+    }
 }

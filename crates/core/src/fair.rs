@@ -12,6 +12,7 @@ use gqos_fairqueue::{FlowId, FlowScheduler, Sfq};
 use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
 use gqos_trace::{Request, SimDuration, SimTime};
 
+use crate::degrade::CapacityAdaptive;
 use crate::rtt::RttClassifier;
 use crate::target::Provision;
 
@@ -44,6 +45,8 @@ const OVERFLOW_FLOW: FlowId = FlowId::new(1);
 pub struct FairQueueScheduler<F = Sfq> {
     rtt: RttClassifier,
     flows: F,
+    /// The healthy `[Cmin, ΔC]` weights renegotiation scales from.
+    nominal_weights: [f64; 2],
 }
 
 impl FairQueueScheduler<Sfq> {
@@ -56,6 +59,7 @@ impl FairQueueScheduler<Sfq> {
         FairQueueScheduler {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             flows: Sfq::new(&provision.weights()),
+            nominal_weights: provision.weights(),
         }
     }
 }
@@ -73,6 +77,7 @@ impl<F: FlowScheduler> FairQueueScheduler<F> {
         FairQueueScheduler {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             flows,
+            nominal_weights: provision.weights(),
         }
     }
 
@@ -117,6 +122,30 @@ impl<F: FlowScheduler> Scheduler for FairQueueScheduler<F> {
 
     fn pending(&self) -> usize {
         self.flows.len()
+    }
+}
+
+impl<F: FlowScheduler> CapacityAdaptive for FairQueueScheduler<F> {
+    /// Shrinks the admission bound to `⌊C_eff·δ⌋` and recomputes the flow
+    /// weights against `C_eff`: the primary class keeps its nominal `Cmin`
+    /// weight while the overflow share scales with the factor, so the (now
+    /// fewer) admitted primaries get first claim on whatever capacity the
+    /// degraded server still delivers.
+    fn renegotiate(&mut self, factor: f64) {
+        self.rtt.set_degradation(factor);
+        let [w_primary, w_overflow] = self.nominal_weights;
+        // Weights must stay strictly positive; floor the overflow share so
+        // an outage (factor 0) demotes rather than erases the flow.
+        let scaled = (w_overflow * factor).max(w_overflow * 1e-6);
+        self.flows.set_weights(&[w_primary, scaled]);
+    }
+
+    fn degradation_factor(&self) -> f64 {
+        self.rtt.degradation()
+    }
+
+    fn primary_backlog(&self) -> u64 {
+        self.primary_pending() as u64
     }
 }
 

@@ -55,12 +55,21 @@ impl RttParams {
     /// Non-panicking variant: `None` when `⌊C·δ⌋ = 0` (a degenerate
     /// capacity that can guarantee nothing — every request overflows).
     ///
+    /// When `C·δ` exceeds the 64-bit counter ([`checked_max_queue`] would
+    /// return [`CapacityOverflow`]), the bound **saturates** at `u64::MAX`:
+    /// such a capacity admits every request, and [`RttState::admit`]'s
+    /// arithmetic is itself saturating, so grid sweeps may include absurd
+    /// capacities without pre-filtering or panicking.
+    ///
+    /// [`checked_max_queue`]: crate::rtt::checked_max_queue
+    /// [`CapacityOverflow`]: crate::rtt::CapacityOverflow
+    ///
     /// # Panics
     ///
     /// Panics if `deadline` is zero.
     pub(crate) fn try_new(capacity: Iops, deadline: SimDuration) -> Option<Self> {
         assert!(!deadline.is_zero(), "deadline must be positive");
-        let max_q1 = capacity.requests_within(deadline);
+        let max_q1 = crate::rtt::checked_max_queue(capacity, deadline).unwrap_or(u64::MAX);
         if max_q1 == 0 {
             return None;
         }
@@ -93,21 +102,35 @@ impl RttState {
     /// `next_done + (lenQ1−1)·service`, has passed) is decided with one
     /// multiply; the division only runs on a *partial* drain, i.e. when a
     /// burst is actively backlogging the server.
+    ///
+    /// All completion-instant arithmetic **saturates** at `u64::MAX` ns
+    /// (the clock horizon, ≈ 584 years): with `u64::MAX`-adjacent
+    /// capacities, deadlines, or arrivals, a product that overflows means
+    /// "the server is busy past the horizon", and a saturated instant
+    /// encodes exactly that — the full-drain test still errs toward the
+    /// partial branch (the true instant exceeds any representable
+    /// arrival), and `drained ≤ lenQ1 − 1` keeps holding, so the state
+    /// stays coherent instead of wrapping or panicking.
     #[inline(always)]
     pub(crate) fn admit(&mut self, p: RttParams, arrival_ns: u64) -> bool {
         if self.len_q1 > 0 && self.next_done_ns <= arrival_ns {
-            if self.next_done_ns + (self.len_q1 - 1) * p.service_ns <= arrival_ns {
+            let last_done_ns = self
+                .next_done_ns
+                .saturating_add((self.len_q1 - 1).saturating_mul(p.service_ns));
+            if last_done_ns <= arrival_ns {
                 // Full drain: `next_done` is reset by the idle branch below.
                 self.len_q1 = 0;
             } else {
                 let drained = (arrival_ns - self.next_done_ns) / p.service_ns + 1;
                 self.len_q1 -= drained;
-                self.next_done_ns += drained * p.service_ns;
+                self.next_done_ns = self
+                    .next_done_ns
+                    .saturating_add(drained.saturating_mul(p.service_ns));
             }
         }
         if self.len_q1 == 0 {
             // Server idle: the next admitted request starts on arrival.
-            self.next_done_ns = arrival_ns + p.service_ns;
+            self.next_done_ns = arrival_ns.saturating_add(p.service_ns);
         }
         if self.len_q1 < p.max_q1 {
             self.len_q1 += 1;
@@ -420,5 +443,72 @@ mod tests {
     #[should_panic(expected = "deadline must be positive")]
     fn overflow_curve_rejects_zero_deadline() {
         let _ = overflow_curve(&Workload::new(), &[Iops::new(100.0)], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overflowing_capacity_saturates_and_admits_everything() {
+        // C·δ = 1e30 × 10 s ≫ 2^64: the bound saturates at u64::MAX and the
+        // scan must neither wrap nor panic — nothing overflows Q1.
+        let w = bursty();
+        let p = RttParams::try_new(Iops::new(1e30), SimDuration::from_secs(10))
+            .expect("saturated bound is not degenerate");
+        assert_eq!(p.max_q1, u64::MAX);
+        assert_eq!(scan_overflow(&w, p), 0);
+        assert_eq!(
+            overflow_curve(&w, &[Iops::new(1e30)], SimDuration::from_secs(10)),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn bulk_drain_saturates_instead_of_wrapping() {
+        // Deep queue × huge service time: the full-drain probe
+        // `next_done + (lenQ1−1)·service` exceeds u64 and must saturate
+        // into the partial branch, not wrap (a wrap would fake a full
+        // drain and corrupt the state — and panics in debug builds).
+        let p = RttParams {
+            max_q1: u64::MAX,
+            service_ns: u64::MAX / 2,
+        };
+        let mut state = RttState::default();
+        for _ in 0..3 {
+            assert!(state.admit(p, 0));
+        }
+        // lenQ1 = 3, next_done = MAX/2. True last completion is at
+        // MAX/2 + 2·(MAX/2) ≈ 1.5·u64::MAX — past any representable
+        // arrival, so exactly one service interval has elapsed: one
+        // request drains and the new arrival is admitted on top.
+        assert!(state.admit(p, u64::MAX - 5));
+        assert_eq!(state.len_q1, 3, "one drained, one admitted");
+    }
+
+    #[test]
+    fn horizon_adjacent_arrivals_do_not_overflow() {
+        // `arrival + service` past the horizon saturates to u64::MAX
+        // ("busy past the horizon") instead of wrapping to a tiny instant —
+        // a wrap would fake an idle server and admit without bound.
+        let p = RttParams::new(Iops::new(100.0), dms(20)); // maxQ1 = 2
+        let mut state = RttState::default();
+        let arrival = u64::MAX - 10;
+        assert!(state.admit(p, arrival));
+        assert_eq!(state.next_done_ns, u64::MAX);
+        assert!(state.admit(p, arrival));
+        assert!(!state.admit(p, arrival), "Q1 full at the horizon: shed");
+    }
+
+    #[test]
+    fn saturated_scan_stays_coherent_over_a_full_workload() {
+        // A whole pass mixing normal arrivals with horizon-adjacent ones:
+        // must complete without panicking and never admit beyond maxQ1.
+        let arrivals: Vec<SimTime> = (0..100)
+            .map(|i| SimTime::from_nanos(u64::MAX - 200 + 2 * (i / 2)))
+            .collect();
+        let w = Workload::from_arrivals(arrivals);
+        let p = RttParams::new(Iops::new(100.0), dms(20));
+        let overflow = scan_overflow(&w, p);
+        assert!(
+            overflow >= 100 - p.max_q1,
+            "Q1 is bounded even at the horizon"
+        );
     }
 }

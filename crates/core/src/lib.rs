@@ -56,6 +56,7 @@
 mod admission;
 mod cascade;
 mod consolidate;
+mod degrade;
 mod edf;
 mod fair;
 mod graduated;
@@ -74,6 +75,10 @@ mod tenant;
 pub use admission::{Admission, AdmissionController, AdmissionError};
 pub use cascade::{CascadeDecomposer, CascadeDecomposition, CascadeLevel};
 pub use consolidate::{merge_all, ConsolidationReport, ConsolidationStudy};
+pub use degrade::{
+    AdaptiveScheduler, AdmissionLog, AdmissionRecord, CapacityAdaptive, DegradationController,
+    DegradationPolicy,
+};
 pub use edf::{EdfScheduler, LatePolicy};
 pub use fair::FairQueueScheduler;
 pub use graduated::GraduatedScheduler;
@@ -83,8 +88,9 @@ pub use offline::{rtt_period_bound, slotted_lower_bound, OptimalityCheck};
 pub use planner::{CapacityPlanner, SlaQuote};
 pub use pricing::{PricingModel, Quote};
 pub use rtt::{
-    decompose, decompose_with_budget, optimal_drop_lower_bound, overflow_count, within_miss_budget,
-    DecomposeScratch, Decomposition, RttClassifier, ScratchDecomposition,
+    checked_max_queue, decompose, decompose_with_budget, optimal_drop_lower_bound, overflow_count,
+    within_miss_budget, CapacityOverflow, DecomposeScratch, Decomposition, RttClassifier,
+    ScratchDecomposition,
 };
 pub use shaper::{RecombinePolicy, WorkloadShaper};
 pub use sla::{sla_from_fractions, SlaDistribution, SlaVerification, TargetOutcome};

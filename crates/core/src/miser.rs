@@ -19,6 +19,7 @@ use std::fmt;
 use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
 use gqos_trace::{Request, SimDuration, SimTime};
 
+use crate::degrade::CapacityAdaptive;
 use crate::rtt::RttClassifier;
 use crate::target::Provision;
 
@@ -157,6 +158,29 @@ impl Scheduler for MiserScheduler {
 
     fn pending(&self) -> usize {
         self.q1.len() + self.q2.len()
+    }
+}
+
+impl CapacityAdaptive for MiserScheduler {
+    /// Shrinks the admission bound to `⌊C_eff·δ⌋` and clamps every queued
+    /// slack to the spare slots the *degraded* bound still offers — slack
+    /// granted against capacity that no longer exists must not let an
+    /// overflow request cut ahead of a primary deadline.
+    fn renegotiate(&mut self, factor: f64) {
+        self.rtt.set_degradation(factor);
+        let available = self.rtt.slack();
+        for (_, slack) in &mut self.q1 {
+            *slack = (*slack).min(available);
+        }
+        self.recompute_min_slack();
+    }
+
+    fn degradation_factor(&self) -> f64 {
+        self.rtt.degradation()
+    }
+
+    fn primary_backlog(&self) -> u64 {
+        self.q1.len() as u64
     }
 }
 

@@ -16,12 +16,71 @@
 //! structs; the online [`RttClassifier`] remains the per-request admission
 //! rule schedulers embed.
 
+use std::error::Error;
 use std::fmt;
 
 use gqos_sim::ServiceClass;
 use gqos_trace::{Iops, Request, SimDuration, Workload};
 
 use crate::kernel::{scan_overflow, scan_within_budget, RttParams, RttState};
+
+/// Typed overflow error: `⌊C·δ⌋` exceeds the 64-bit primary-queue counter.
+///
+/// The queue bound is an integer; a `(C, δ)` pair whose product reaches
+/// `2^64` cannot be represented (and no physical trace could fill such a
+/// queue anyway). [`checked_max_queue`] reports the offending pair instead
+/// of silently wrapping or saturating.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CapacityOverflow {
+    /// The capacity of the offending pair.
+    pub capacity: Iops,
+    /// The deadline of the offending pair.
+    pub deadline: SimDuration,
+}
+
+impl fmt::Display for CapacityOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C x delta = {} x {} overflows the 64-bit queue bound",
+            self.capacity, self.deadline
+        )
+    }
+}
+
+impl Error for CapacityOverflow {}
+
+/// The primary-queue bound `⌊C·δ⌋` with an overflow check: `Err` when the
+/// product does not fit a `u64` instead of a saturating cast.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero.
+///
+/// # Errors
+///
+/// Returns [`CapacityOverflow`] when `C·δ ≥ 2^64`.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_core::checked_max_queue;
+/// use gqos_trace::{Iops, SimDuration};
+///
+/// let delta = SimDuration::from_millis(20);
+/// assert_eq!(checked_max_queue(Iops::new(100.0), delta), Ok(2));
+/// assert!(checked_max_queue(Iops::new(1e21), SimDuration::from_secs(100)).is_err());
+/// ```
+pub fn checked_max_queue(capacity: Iops, deadline: SimDuration) -> Result<u64, CapacityOverflow> {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let product = capacity.get() * deadline.as_secs_f64();
+    // `u64::MAX as f64` rounds up to 2^64 exactly, so `>=` catches every
+    // product the counter cannot hold.
+    if product >= u64::MAX as f64 {
+        return Err(CapacityOverflow { capacity, deadline });
+    }
+    Ok(product as u64)
+}
 
 /// Online RTT classifier: the bounded-queue admission rule, reusable by any
 /// recombination scheduler.
@@ -52,6 +111,9 @@ pub struct RttClassifier {
     deadline: SimDuration,
     max_q1: u64,
     len_q1: u64,
+    /// Degradation factor applied to `capacity` when sizing `max_q1`;
+    /// 1.0 on a healthy server.
+    degradation: f64,
 }
 
 impl RttClassifier {
@@ -59,12 +121,12 @@ impl RttClassifier {
     ///
     /// # Panics
     ///
-    /// Panics if `deadline` is zero or `⌊C·δ⌋` is zero (the capacity cannot
-    /// complete even one request within the deadline, so no request could
-    /// ever be guaranteed).
+    /// Panics if `deadline` is zero, if `⌊C·δ⌋` is zero (the capacity
+    /// cannot complete even one request within the deadline, so no request
+    /// could ever be guaranteed), or if `⌊C·δ⌋` overflows the 64-bit queue
+    /// counter (see [`checked_max_queue`]).
     pub fn new(capacity: Iops, deadline: SimDuration) -> Self {
-        assert!(!deadline.is_zero(), "deadline must be positive");
-        let max_q1 = capacity.requests_within(deadline);
+        let max_q1 = checked_max_queue(capacity, deadline).unwrap_or_else(|e| panic!("{e}"));
         assert!(
             max_q1 >= 1,
             "C x delta = {} x {} admits no requests; raise capacity or deadline",
@@ -76,10 +138,12 @@ impl RttClassifier {
             deadline,
             max_q1,
             len_q1: 0,
+            degradation: 1.0,
         }
     }
 
-    /// The primary-queue bound `maxQ1 = ⌊C·δ⌋`.
+    /// The primary-queue bound `maxQ1 = ⌊C_eff·δ⌋` (with
+    /// `C_eff = degradation · C`).
     pub fn max_queue(&self) -> u64 {
         self.max_q1
     }
@@ -90,9 +154,40 @@ impl RttClassifier {
     }
 
     /// Remaining primary slots, `maxQ1 − lenQ1` — the paper's per-request
-    /// slack value at admission time.
+    /// slack value at admission time. Saturates at zero: after a downward
+    /// renegotiation `lenQ1` may temporarily exceed the shrunken bound.
     pub fn slack(&self) -> u64 {
-        self.max_q1 - self.len_q1
+        self.max_q1.saturating_sub(self.len_q1)
+    }
+
+    /// Renegotiates the admission bound against an estimated effective
+    /// capacity `C_eff = factor · C`: shrinks (or restores)
+    /// `maxQ1 = ⌊C_eff·δ⌋`, so *new* arrivals are shed to the overflow
+    /// class while already-admitted requests keep their slots. A factor of
+    /// zero (outage) closes Q1 to new admissions entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite, or if
+    /// `⌊C_eff·δ⌋` overflows the 64-bit queue counter (only possible with a
+    /// factor far above 1 — see [`checked_max_queue`]).
+    pub fn set_degradation(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "degradation factor must be finite and non-negative: {factor}"
+        );
+        self.degradation = factor;
+        self.max_q1 = match Iops::try_new(self.capacity.get() * factor) {
+            Some(c_eff) => {
+                checked_max_queue(c_eff, self.deadline).unwrap_or_else(|e| panic!("{e}"))
+            }
+            None => 0,
+        };
+    }
+
+    /// The current degradation factor (1.0 on a healthy server).
+    pub fn degradation(&self) -> f64 {
+        self.degradation
     }
 
     /// The capacity the classifier was built with.
@@ -572,6 +667,45 @@ mod tests {
     }
 
     #[test]
+    fn degradation_shrinks_and_restores_the_bound() {
+        let mut rtt = RttClassifier::new(Iops::new(1000.0), dms(5)); // maxQ1 = 5
+        for _ in 0..4 {
+            rtt.classify();
+        }
+        assert_eq!(rtt.slack(), 1);
+        // Halve the effective capacity: bound 2, occupancy 4 -> slack
+        // saturates at 0 and new arrivals are shed.
+        rtt.set_degradation(0.5);
+        assert_eq!(rtt.max_queue(), 2);
+        assert_eq!(rtt.degradation(), 0.5);
+        assert_eq!(rtt.slack(), 0);
+        assert_eq!(rtt.classify(), ServiceClass::OVERFLOW);
+        // Admitted requests keep their slots and drain normally.
+        for _ in 0..4 {
+            rtt.primary_departed();
+        }
+        assert_eq!(rtt.len_q1(), 0);
+        // Full recovery restores the original bound exactly.
+        rtt.set_degradation(1.0);
+        assert_eq!(rtt.max_queue(), 5);
+    }
+
+    #[test]
+    fn outage_degradation_closes_q1() {
+        let mut rtt = RttClassifier::new(Iops::new(1000.0), dms(5));
+        rtt.set_degradation(0.0);
+        assert_eq!(rtt.max_queue(), 0);
+        assert_eq!(rtt.classify(), ServiceClass::OVERFLOW);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_degradation_rejected() {
+        let mut rtt = RttClassifier::new(Iops::new(1000.0), dms(5));
+        rtt.set_degradation(-0.5);
+    }
+
+    #[test]
     #[should_panic(expected = "empty Q1")]
     fn departure_underflow_is_a_bug() {
         let mut rtt = RttClassifier::new(Iops::new(100.0), dms(20));
@@ -583,6 +717,41 @@ mod tests {
     fn degenerate_bound_rejected() {
         // 10 IOPS x 10 ms = 0.1 -> maxQ1 = 0.
         let _ = RttClassifier::new(Iops::new(10.0), dms(10));
+    }
+
+    #[test]
+    fn checked_max_queue_matches_float_floor_in_range() {
+        let delta = dms(20);
+        assert_eq!(checked_max_queue(Iops::new(100.0), delta), Ok(2));
+        assert_eq!(checked_max_queue(Iops::new(150.0), dms(10)), Ok(1));
+        // Just inside the counter: ~2^63 slots is absurd but representable.
+        let huge = checked_max_queue(Iops::new(9.2e18), SimDuration::from_secs(1));
+        assert!(huge.is_ok_and(|q| q > u64::MAX / 4), "{huge:?}");
+    }
+
+    #[test]
+    fn checked_max_queue_rejects_u64_max_adjacent_products() {
+        // 1e19 × 10 s = 1e20 ≥ 2^64 ≈ 1.8e19: typed error, not a wrap.
+        let err = checked_max_queue(Iops::new(1e19), SimDuration::from_secs(10)).unwrap_err();
+        assert_eq!(err.capacity, Iops::new(1e19));
+        assert_eq!(err.deadline, SimDuration::from_secs(10));
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // Exactly at the boundary the counter cannot hold the bound either.
+        assert!(checked_max_queue(Iops::new(u64::MAX as f64), SimDuration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 64-bit queue bound")]
+    fn classifier_rejects_overflowing_bound() {
+        let _ = RttClassifier::new(Iops::new(1e19), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 64-bit queue bound")]
+    fn renegotiation_rejects_overflowing_bound() {
+        let mut rtt = RttClassifier::new(Iops::new(1e18), SimDuration::from_secs(10));
+        // A factor far above 1 pushes C_eff·δ past 2^64.
+        rtt.set_degradation(1e6);
     }
 
     #[test]

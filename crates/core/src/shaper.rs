@@ -5,15 +5,29 @@
 //! shaped workload through the simulation engine.
 
 use std::fmt;
+use std::rc::Rc;
 
-use gqos_sim::{FcfsScheduler, FixedRateServer, RunReport, ServiceClass, Simulation};
-use gqos_trace::{SimDuration, Workload};
+use gqos_faults::FaultSchedule;
+use gqos_sim::{
+    FcfsScheduler, FixedRateServer, ModulatedServer, RunReport, Scheduler, ServiceClass,
+    ServiceModel, Simulation,
+};
+use gqos_trace::{Iops, SimDuration, Workload};
 
+use crate::degrade::{
+    AdaptiveScheduler, AdmissionLog, AdmissionRecord, CapacityAdaptive, DegradationController,
+    DegradationPolicy,
+};
 use crate::fair::FairQueueScheduler;
 use crate::miser::MiserScheduler;
 use crate::planner::CapacityPlanner;
 use crate::split::SplitScheduler;
 use crate::target::{Provision, QosTarget};
+
+/// EWMA window (in completions) of the capacity estimator used by
+/// [`WorkloadShaper::run_with_faults`]. Short enough to react within one
+/// deadline's worth of completions at typical provisions.
+const DEGRADATION_WINDOW: usize = 8;
 
 /// How the decomposed classes are recombined for service — the four
 /// policies evaluated in Section 4.3.
@@ -147,6 +161,77 @@ impl WorkloadShaper {
         }
     }
 
+    /// Runs `workload` under `policy` on a server degraded by `schedule`,
+    /// with the graduated-degradation control loop active: an online
+    /// capacity estimator watches completions and renegotiates the RTT
+    /// bound (plus Miser slacks / FairQueue weights) against `C_eff`.
+    ///
+    /// With an [empty](FaultSchedule::empty) schedule the result is
+    /// identical to [`run`](WorkloadShaper::run) — the modulation and the
+    /// controller are both exact no-ops on a healthy server.
+    pub fn run_with_faults(
+        &self,
+        workload: &Workload,
+        policy: RecombinePolicy,
+        schedule: &FaultSchedule,
+    ) -> RunReport {
+        self.run_with_faults_logged(workload, policy, schedule).0
+    }
+
+    /// Like [`run_with_faults`](WorkloadShaper::run_with_faults), but also
+    /// returns the admission log: every Q1 admission with the capacity
+    /// fraction the controller had negotiated at that instant. This is the
+    /// evidence for the degradation contract — an admitted request whose
+    /// deadline window the server actually sustained at the admission-time
+    /// fraction must meet `δ`.
+    pub fn run_with_faults_logged(
+        &self,
+        workload: &Workload,
+        policy: RecombinePolicy,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Vec<AdmissionRecord>) {
+        let p = self.provision;
+        let controller =
+            || DegradationController::new(DegradationPolicy::default(), DEGRADATION_WINDOW);
+        fn faulty(rate: Iops, schedule: &FaultSchedule) -> ModulatedServer<FixedRateServer> {
+            ModulatedServer::new(FixedRateServer::new(rate), schedule.clone())
+        }
+        match policy {
+            RecombinePolicy::Fcfs => run_adaptive(
+                workload,
+                AdaptiveScheduler::new(FcfsScheduler::new(), controller(), &[p.total()]),
+                vec![faulty(p.total(), schedule)],
+            ),
+            RecombinePolicy::Split => run_adaptive(
+                workload,
+                AdaptiveScheduler::new(
+                    SplitScheduler::new(p, self.deadline),
+                    controller(),
+                    &[p.cmin(), p.delta_c()],
+                ),
+                vec![faulty(p.cmin(), schedule), faulty(p.delta_c(), schedule)],
+            ),
+            RecombinePolicy::FairQueue => run_adaptive(
+                workload,
+                AdaptiveScheduler::new(
+                    FairQueueScheduler::new(p, self.deadline),
+                    controller(),
+                    &[p.total()],
+                ),
+                vec![faulty(p.total(), schedule)],
+            ),
+            RecombinePolicy::Miser => run_adaptive(
+                workload,
+                AdaptiveScheduler::new(
+                    MiserScheduler::new(p, self.deadline),
+                    controller(),
+                    &[p.total()],
+                ),
+                vec![faulty(p.total(), schedule)],
+            ),
+        }
+    }
+
     /// Runs all four policies and returns `(policy, report)` pairs in the
     /// paper's order.
     pub fn run_all(&self, workload: &Workload) -> Vec<(RecombinePolicy, RunReport)> {
@@ -168,6 +253,35 @@ impl WorkloadShaper {
     /// guarantee (always [`ServiceClass::PRIMARY`]).
     pub fn guaranteed_class(&self) -> ServiceClass {
         ServiceClass::PRIMARY
+    }
+}
+
+/// Runs an adaptive scheduler with its admission log enabled and extracts
+/// the records once the simulation (and with it the scheduler's clone of
+/// the log handle) is dropped.
+fn run_adaptive<S: CapacityAdaptive, M: ServiceModel + 'static>(
+    workload: &Workload,
+    scheduler: AdaptiveScheduler<S>,
+    servers: Vec<M>,
+) -> (RunReport, Vec<AdmissionRecord>)
+where
+    AdaptiveScheduler<S>: Scheduler,
+{
+    let (scheduler, log) = scheduler.with_admission_log();
+    let mut sim = Simulation::new(workload, scheduler);
+    for server in servers {
+        sim = sim.server(server);
+    }
+    let report = sim.run();
+    let records = extract_log(log);
+    (report, records)
+}
+
+fn extract_log(log: AdmissionLog) -> Vec<AdmissionRecord> {
+    match Rc::try_unwrap(log) {
+        Ok(cell) => cell.into_inner(),
+        // The scheduler should be gone by now; fall back to a copy if not.
+        Err(shared) => shared.borrow().clone(),
     }
 }
 
@@ -278,6 +392,56 @@ mod tests {
             WorkloadShaper::new(Provision::new(Iops::new(328.0), Iops::new(20.0)), dms(50));
         assert!(shaper.to_string().contains("328"));
         assert_eq!(shaper.guaranteed_class(), ServiceClass::PRIMARY);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_byte_identical_to_plain_run() {
+        // The degradation contract's fault-free clause: with no faults, the
+        // adaptive path must reproduce the plain path exactly — same
+        // completion records, same classes, same nanoseconds.
+        let w = bursty_workload();
+        let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.90, dms(20)));
+        let empty = FaultSchedule::empty();
+        for policy in RecombinePolicy::ALL {
+            let plain = shaper.run(&w, policy);
+            let (faulted, log) = shaper.run_with_faults_logged(&w, policy, &empty);
+            assert_eq!(
+                plain.records(),
+                faulted.records(),
+                "{policy}: empty schedule diverged from plain run"
+            );
+            // Every logged admission was negotiated at full capacity.
+            assert!(log.iter().all(|r| r.factor == 1.0), "{policy}");
+        }
+    }
+
+    #[test]
+    fn outage_degrades_and_sheds_instead_of_missing() {
+        // A mid-run slowdown: the controller must renegotiate downward and
+        // later admissions must carry the degraded factor.
+        let w = bursty_workload();
+        let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.90, dms(20)));
+        let schedule = FaultSchedule::new(11).with_slowdown(
+            SimTime::from_millis(500),
+            SimDuration::from_secs(2),
+            4.0,
+        );
+        let (report, log) = shaper.run_with_faults_logged(&w, RecombinePolicy::Miser, &schedule);
+        assert_eq!(report.completed(), w.len());
+        assert!(
+            log.iter().any(|r| r.factor < 1.0),
+            "no admission saw a degraded factor"
+        );
+        // Degraded admissions are rarer than healthy ones would have been:
+        // shedding moved arrivals to Q2.
+        let faulted_q1 = report.completed_in(ServiceClass::PRIMARY);
+        let healthy_q1 = shaper
+            .run(&w, RecombinePolicy::Miser)
+            .completed_in(ServiceClass::PRIMARY);
+        assert!(
+            faulted_q1 < healthy_q1,
+            "degradation did not shed: {faulted_q1} vs healthy {healthy_q1}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::fmt;
 use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
 use gqos_trace::{Request, SimDuration, SimTime};
 
+use crate::degrade::CapacityAdaptive;
 use crate::rtt::RttClassifier;
 use crate::target::Provision;
 
@@ -104,6 +105,22 @@ impl Scheduler for SplitScheduler {
 
     fn pending(&self) -> usize {
         self.q1.len() + self.q2.len()
+    }
+}
+
+impl CapacityAdaptive for SplitScheduler {
+    /// Split has no cross-class capacity to rebalance; renegotiation only
+    /// shrinks the admission bound so new arrivals shed to Q2.
+    fn renegotiate(&mut self, factor: f64) {
+        self.rtt.set_degradation(factor);
+    }
+
+    fn degradation_factor(&self) -> f64 {
+        self.rtt.degradation()
+    }
+
+    fn primary_backlog(&self) -> u64 {
+        self.q1.len() as u64
     }
 }
 

@@ -40,6 +40,22 @@ pub trait FlowScheduler {
     ///
     /// Panics if `flow` is out of range.
     fn flow_len(&self, flow: FlowId) -> usize;
+
+    /// Replaces the flow weights, e.g. when an effective-capacity change
+    /// renegotiates the shares. Only future tags are affected; requests
+    /// already queued keep the tags they were stamped with.
+    ///
+    /// The default ignores the new weights — for schedulers whose dispatch
+    /// order does not depend on weights.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `weights` is invalid (see
+    /// [`Sfq::new`](crate::Sfq::new)) or its length differs from
+    /// [`flows`](FlowScheduler::flows).
+    fn set_weights(&mut self, weights: &[f64]) {
+        let _ = weights;
+    }
 }
 
 #[cfg(test)]

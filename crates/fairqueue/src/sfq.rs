@@ -103,6 +103,16 @@ impl FlowScheduler for Sfq {
     fn flow_len(&self, flow: FlowId) -> usize {
         self.queues[flow.index()].len()
     }
+
+    fn set_weights(&mut self, weights: &[f64]) {
+        validate_weights(weights);
+        assert_eq!(
+            weights.len(),
+            self.weights.len(),
+            "weight count must match flow count"
+        );
+        self.weights = weights.to_vec();
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +176,19 @@ mod tests {
     fn enqueue_validates_flow() {
         let mut s = Sfq::new(&[1.0]);
         s.enqueue(FlowId::new(1), Request::at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn renegotiated_weights_shift_future_shares() {
+        let mut s = Sfq::new(&[1.0, 1.0]);
+        s.set_weights(&[4.0, 1.0]);
+        check_weighted_share(s, 4.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count")]
+    fn set_weights_validates_flow_count() {
+        let mut s = Sfq::new(&[1.0, 1.0]);
+        s.set_weights(&[1.0]);
     }
 }

@@ -144,6 +144,17 @@ impl FlowScheduler for Wf2q {
         self.len
     }
 
+    fn set_weights(&mut self, weights: &[f64]) {
+        validate_weights(weights);
+        assert_eq!(
+            weights.len(),
+            self.weights.len(),
+            "weight count must match flow count"
+        );
+        self.weights = weights.to_vec();
+        self.total_weight = weights.iter().sum();
+    }
+
     fn flow_len(&self, flow: FlowId) -> usize {
         self.queues[flow.index()].len()
     }
@@ -163,6 +174,13 @@ mod tests {
     #[test]
     fn weighted_share_10_to_1() {
         check_weighted_share(Wf2q::new(&[10.0, 1.0]), 10.0, 1.0);
+    }
+
+    #[test]
+    fn renegotiated_weights_shift_future_shares() {
+        let mut q = Wf2q::new(&[1.0, 1.0]);
+        q.set_weights(&[2.0, 1.0]);
+        check_weighted_share(q, 2.0, 1.0);
     }
 
     #[test]

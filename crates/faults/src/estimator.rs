@@ -1,0 +1,137 @@
+//! Online effective-capacity estimation from observed service times.
+
+use std::fmt;
+
+use gqos_trace::SimDuration;
+
+/// A windowed EWMA estimator of the effective-capacity fraction
+/// `C_eff / C`, driven by completions.
+///
+/// Each completed request contributes the instantaneous factor
+/// `nominal_service / observed_service` (capped at 1: a server cannot be
+/// credited with more than its nominal rate); the estimate is an
+/// exponentially weighted moving average with the smoothing constant of an
+/// `n`-sample window, `α = 2 / (n + 1)`.
+///
+/// The estimator starts at 1.0 and observes *service* times, not completion
+/// gaps — so an idle server does not read as a dead one, and on a healthy
+/// server every observation is exactly 1.0 and the estimate never moves
+/// (the fault-free fixed point the equivalence tests rely on).
+///
+/// # Examples
+///
+/// ```
+/// use gqos_faults::CapacityEstimator;
+/// use gqos_trace::SimDuration;
+///
+/// let mut est = CapacityEstimator::new(8);
+/// let nominal = SimDuration::from_millis(10);
+/// // A run of 4x-stretched service times drags the estimate toward 0.25.
+/// for _ in 0..64 {
+///     est.observe(SimDuration::from_millis(40), nominal);
+/// }
+/// assert!(est.estimate() < 0.3);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct CapacityEstimator {
+    alpha: f64,
+    estimate: f64,
+}
+
+impl CapacityEstimator {
+    /// Creates an estimator with the smoothing of an `n`-completion window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "estimator window must be positive");
+        CapacityEstimator {
+            alpha: 2.0 / (window as f64 + 1.0),
+            estimate: 1.0,
+        }
+    }
+
+    /// Folds one completed request's `observed` service time against the
+    /// server's `nominal` service time into the estimate, returning the
+    /// updated estimate.
+    pub fn observe(&mut self, observed: SimDuration, nominal: SimDuration) -> f64 {
+        let observed_ns = observed.as_nanos().max(1) as f64;
+        let inst = (nominal.as_nanos() as f64 / observed_ns).min(1.0);
+        self.estimate += self.alpha * (inst - self.estimate);
+        self.estimate
+    }
+
+    /// The current estimate of `C_eff / C`, in `(0, 1]`.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+}
+
+impl fmt::Display for CapacityEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C_eff/C ~ {:.3}", self.estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn healthy_server_is_a_fixed_point() {
+        let mut est = CapacityEstimator::new(16);
+        for _ in 0..1000 {
+            let e = est.observe(dms(10), dms(10));
+            assert_eq!(e, 1.0, "healthy observation moved the estimate");
+        }
+    }
+
+    #[test]
+    fn stretched_service_drags_estimate_down_then_recovers() {
+        let mut est = CapacityEstimator::new(8);
+        for _ in 0..50 {
+            est.observe(dms(20), dms(10));
+        }
+        let degraded = est.estimate();
+        assert!(
+            (degraded - 0.5).abs() < 0.01,
+            "2x stretch should read ~0.5, got {degraded}"
+        );
+        for _ in 0..100 {
+            est.observe(dms(10), dms(10));
+        }
+        assert!(
+            est.estimate() > 0.99,
+            "recovery stalled at {}",
+            est.estimate()
+        );
+    }
+
+    #[test]
+    fn instantaneous_factor_is_capped_at_one() {
+        let mut est = CapacityEstimator::new(4);
+        // Observed faster than nominal (e.g. measurement slop) cannot push
+        // the estimate above 1.
+        est.observe(dms(1), dms(10));
+        assert_eq!(est.estimate(), 1.0);
+    }
+
+    #[test]
+    fn zero_observed_service_is_safe() {
+        let mut est = CapacityEstimator::new(4);
+        est.observe(SimDuration::ZERO, dms(10));
+        assert!(est.estimate() <= 1.0 && est.estimate() > 0.0);
+        assert!(est.to_string().contains("C_eff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = CapacityEstimator::new(0);
+    }
+}

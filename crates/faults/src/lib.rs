@@ -1,0 +1,46 @@
+//! # gqos-faults — server misbehaviour for the gqos simulator
+//!
+//! The paper's analysis assumes the server capacity `C` is a constant. Real
+//! arrays do not honor that: RAID rebuilds, cache flushes, and firmware
+//! hiccups all depress the effective service rate at runtime. This crate
+//! models those events so the rest of the workspace can answer the question
+//! *"what happens to the Q1 guarantee when the server itself misbehaves?"*:
+//!
+//! - [`FaultSchedule`] — a seeded, deterministic timeline of capacity
+//!   faults ([`FaultWindow`]s of [`FaultKind`]): transient slowdowns by a
+//!   factor `k`, full outage windows, RAID-rebuild ramps that climb back to
+//!   nominal rate in steps, and additive latency jitter. The schedule turns
+//!   the effective service rate into a step function `C_eff(t)` and
+//!   implements [`CapacityModulation`](gqos_sim::CapacityModulation), so any
+//!   [`ServiceModel`](gqos_sim::ServiceModel) can be wrapped in a
+//!   [`ModulatedServer`](gqos_sim::ModulatedServer).
+//! - [`CapacityEstimator`] — the online, windowed EWMA over observed
+//!   per-request service times that a degradation controller uses to track
+//!   `C_eff(t)` without being told about the schedule.
+//!
+//! An **empty** schedule is an exact identity: wrapped servers produce
+//! byte-identical simulation outputs to unwrapped ones (the fault-free
+//! equivalence the test suite pins down).
+//!
+//! # Examples
+//!
+//! ```
+//! use gqos_faults::FaultSchedule;
+//! use gqos_trace::{SimDuration, SimTime};
+//!
+//! // A 2x slowdown between t = 1 s and t = 2 s.
+//! let schedule = FaultSchedule::new(7)
+//!     .with_slowdown(SimTime::from_secs(1), SimDuration::from_secs(1), 2.0);
+//! // 10 ms of full-rate work dispatched at t = 1 s takes 20 ms.
+//! let finish = schedule.finish_time(SimTime::from_secs(1), SimDuration::from_millis(10));
+//! assert_eq!(finish, SimTime::from_millis(1020));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod estimator;
+mod schedule;
+
+pub use estimator::CapacityEstimator;
+pub use schedule::{FaultKind, FaultSchedule, FaultWindow};

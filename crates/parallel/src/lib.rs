@@ -13,9 +13,49 @@
 //! The pool is dependency-free (`std::thread::scope` + an atomic work
 //! index) because the build environment has no access to crates.io.
 
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A worker task panicked during [`WorkerPool::execute`].
+///
+/// Carries the index of the first offending item (in item order, which is
+/// deterministic regardless of thread scheduling) and the rendered panic
+/// message. The remaining items still ran to completion — a panicking task
+/// can neither hang the positional assembly nor poison other slots.
+#[derive(Debug)]
+pub struct WorkerPanic {
+    /// Index of the first item (in item order) whose task panicked.
+    pub index: usize,
+    /// The panic payload rendered to text, when it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker task for item {} panicked: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl Error for WorkerPanic {}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-width pool of scoped worker threads.
 ///
@@ -74,8 +114,59 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any worker once all threads have stopped.
+    /// Propagates the first panic (in item order) once every item has run.
+    /// A panicking task cannot hang the pool or corrupt other results; use
+    /// [`execute`](WorkerPool::execute) to receive a typed error instead.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for caught in self.run_caught(items, f) {
+            match caught {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every item like [`map`](WorkerPool::map), but catches
+    /// worker panics and surfaces the first one (in item order) as a typed
+    /// [`WorkerPanic`] instead of unwinding into the caller. Every item
+    /// still runs: one bad task cannot hang the positional assembly or
+    /// poison its neighbours' result slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] if any task panicked.
+    pub fn execute<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for (index, caught) in self.run_caught(items, f).into_iter().enumerate() {
+            match caught {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(WorkerPanic {
+                        index,
+                        message: payload_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shared engine for `map`/`execute`: every task runs under
+    /// `catch_unwind`, so a panic is just another per-slot result and the
+    /// scoped threads always join cleanly.
+    fn run_caught<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, Box<dyn Any + Send>>>
     where
         T: Send,
         R: Send,
@@ -83,14 +174,18 @@ impl WorkerPool {
     {
         let n = items.len();
         if self.is_serial() || n <= 1 {
-            return items.into_iter().map(f).collect();
+            return items
+                .into_iter()
+                .map(|item| catch_unwind(AssertUnwindSafe(|| f(item))))
+                .collect();
         }
 
         // Hand-rolled work queue: each slot is taken exactly once, each
         // result written exactly once; the mutexes are uncontended (a
         // worker only touches the slot whose index it claimed).
+        type Slot<R> = Mutex<Option<Result<R, Box<dyn Any + Send>>>>;
         let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
         std::thread::scope(|scope| {
@@ -105,7 +200,7 @@ impl WorkerPool {
                         .expect("work slot poisoned")
                         .take()
                         .expect("work item claimed twice");
-                    let result = f(item);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(item)));
                     *results[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
@@ -209,5 +304,74 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    fn execute_surfaces_panic_as_typed_error() {
+        for threads in [1, 2, 8] {
+            let err = WorkerPool::new(threads)
+                .execute((0..16u64).collect(), |x| {
+                    assert!(x != 5, "boom at {x}");
+                    x * 2
+                })
+                .unwrap_err();
+            assert_eq!(err.index, 5, "{threads} threads");
+            assert!(err.message.contains("boom at 5"), "{}", err.message);
+            assert!(err.to_string().contains("item 5"), "{err}");
+        }
+    }
+
+    #[test]
+    fn execute_reports_first_panic_in_item_order() {
+        // Items 9 and 2 both panic; regardless of which thread hits which
+        // first, the surfaced error is deterministic: item order wins.
+        let err = WorkerPool::new(4)
+            .execute((0..12u64).collect(), |x| {
+                assert!(x != 2 && x != 9, "bad item {x}");
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.message.contains("bad item 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn panicking_task_does_not_hang_or_poison_the_pool() {
+        // A panic in one slot must not leave the pool wedged: every other
+        // item still runs, and the same pool keeps working afterwards.
+        let pool = WorkerPool::new(4);
+        let ran = AtomicU64::new(0);
+        let err = pool
+            .execute((0..64u64).collect(), |x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(x != 31, "boom");
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 31);
+        assert_eq!(ran.load(Ordering::Relaxed), 64, "all items should run");
+        let healthy = pool
+            .execute((0..64u64).collect(), |x| x + 1)
+            .expect("healthy batch");
+        assert_eq!(healthy.len(), 64);
+    }
+
+    #[test]
+    fn execute_matches_map_on_healthy_batches() {
+        let items: Vec<u64> = (0..50).collect();
+        let mapped = WorkerPool::new(4).map(items.clone(), |x| x ^ 0x5555);
+        let executed = WorkerPool::new(4)
+            .execute(items, |x| x ^ 0x5555)
+            .expect("no panics");
+        assert_eq!(mapped, executed);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_still_reported() {
+        let err = WorkerPool::serial()
+            .execute(vec![0u32], |_| -> u32 { std::panic::panic_any(42i32) })
+            .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(err.message.contains("non-string"), "{}", err.message);
     }
 }

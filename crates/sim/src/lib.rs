@@ -53,4 +53,4 @@ pub use event::{Event, EventKind, EventQueue, IndexedEventQueue};
 pub use histogram::LatencyHistogram;
 pub use metrics::{CompletionRecord, ResponseStats, RunReport};
 pub use scheduler::{Dispatch, FcfsScheduler, Scheduler, ServiceClass};
-pub use server::{FixedRateServer, ServerId, ServiceModel};
+pub use server::{CapacityModulation, FixedRateServer, ModulatedServer, ServerId, ServiceModel};

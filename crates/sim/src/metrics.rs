@@ -31,6 +31,13 @@ impl CompletionRecord {
     pub fn queueing_time(&self) -> SimDuration {
         self.dispatched - self.arrival
     }
+
+    /// Time spent in service: completion − dispatch. Under a fault-injected
+    /// (modulated) server this is the *observed* service time, which a
+    /// capacity estimator compares against the server's nominal one.
+    pub fn service_time(&self) -> SimDuration {
+        self.completion - self.dispatched
+    }
 }
 
 /// The outcome of one simulation run.
@@ -111,6 +118,26 @@ impl RunReport {
     /// Number of completions in the given class.
     pub fn completed_in(&self, class: ServiceClass) -> usize {
         self.records.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Number of completed requests in `class` whose response time exceeded
+    /// `deadline` — the degradation experiments' "Q1 miss" counter.
+    pub fn miss_count(&self, class: ServiceClass, deadline: SimDuration) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.class == class && r.response_time() > deadline)
+            .count()
+    }
+
+    /// Fraction of `class` completions missing `deadline`, in `[0, 1]`
+    /// (0.0 when the class has no completions).
+    pub fn miss_fraction(&self, class: ServiceClass, deadline: SimDuration) -> f64 {
+        let total = self.completed_in(class);
+        if total == 0 {
+            0.0
+        } else {
+            self.miss_count(class, deadline) as f64 / total as f64
+        }
     }
 
     /// Writes the per-request records as CSV
@@ -360,6 +387,25 @@ mod tests {
         let r = record(10, 15, 25, ServiceClass::PRIMARY);
         assert_eq!(r.response_time(), ms(15));
         assert_eq!(r.queueing_time(), ms(5));
+        assert_eq!(r.service_time(), ms(10));
+    }
+
+    #[test]
+    fn miss_counts_per_class() {
+        let report = RunReport::new(
+            vec![
+                record(0, 0, 5, ServiceClass::PRIMARY),
+                record(0, 0, 30, ServiceClass::PRIMARY),
+                record(0, 0, 100, ServiceClass::OVERFLOW),
+            ],
+            3,
+            SimTime::from_millis(100),
+        );
+        let d = ms(20);
+        assert_eq!(report.miss_count(ServiceClass::PRIMARY, d), 1);
+        assert_eq!(report.miss_count(ServiceClass::OVERFLOW, d), 1);
+        assert!((report.miss_fraction(ServiceClass::PRIMARY, d) - 0.5).abs() < 1e-12);
+        assert_eq!(report.miss_fraction(ServiceClass::new(7), d), 0.0);
     }
 
     #[test]

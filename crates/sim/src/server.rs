@@ -97,6 +97,86 @@ impl ServiceModel for FixedRateServer {
     }
 }
 
+/// A time-varying distortion of a server's service rate — the hook a fault
+/// schedule (see the `gqos-faults` crate) uses to turn a constant-capacity
+/// server into an effective-rate step function `C_eff(t)`.
+///
+/// Implementations map "`work` nanoseconds of full-rate service dispatched
+/// at `start`" to the wall-clock instant it finishes.
+pub trait CapacityModulation: fmt::Debug {
+    /// When `work` full-rate service time dispatched at `start` completes.
+    /// Must return an instant at or after `start`.
+    fn finish_time(&self, start: SimTime, work: SimDuration) -> SimTime;
+
+    /// `true` when the modulation never changes anything. Identity
+    /// modulations are bypassed entirely, guaranteeing byte-identical
+    /// outputs to an unwrapped server.
+    fn is_identity(&self) -> bool {
+        false
+    }
+}
+
+/// A service model whose underlying server misbehaves according to a
+/// [`CapacityModulation`]: each request's nominal service time is stretched
+/// by the modulation's effective-rate function at the dispatch instant.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{CapacityModulation, FixedRateServer, ModulatedServer, ServiceModel};
+/// use gqos_trace::{Iops, Request, SimDuration, SimTime};
+///
+/// #[derive(Debug)]
+/// struct HalfSpeed;
+/// impl CapacityModulation for HalfSpeed {
+///     fn finish_time(&self, start: SimTime, work: SimDuration) -> SimTime {
+///         start + work + work // every request takes twice as long
+///     }
+/// }
+///
+/// let mut server = ModulatedServer::new(FixedRateServer::new(Iops::new(100.0)), HalfSpeed);
+/// let r = Request::at(SimTime::ZERO);
+/// assert_eq!(server.service_time(&r, SimTime::ZERO), SimDuration::from_millis(20));
+/// ```
+#[derive(Debug)]
+pub struct ModulatedServer<M> {
+    inner: M,
+    modulation: Box<dyn CapacityModulation>,
+}
+
+impl<M: ServiceModel> ModulatedServer<M> {
+    /// Wraps `inner` under `modulation`.
+    pub fn new<C: CapacityModulation + 'static>(inner: M, modulation: C) -> Self {
+        ModulatedServer {
+            inner,
+            modulation: Box::new(modulation),
+        }
+    }
+
+    /// The wrapped service model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ServiceModel> ServiceModel for ModulatedServer<M> {
+    fn service_time(&mut self, request: &Request, now: SimTime) -> SimDuration {
+        let nominal = self.inner.service_time(request, now);
+        if self.modulation.is_identity() {
+            // Exact pass-through: no float arithmetic may touch the
+            // fault-free path.
+            return nominal;
+        }
+        let finish = self.modulation.finish_time(now, nominal);
+        debug_assert!(finish >= now, "modulation finished before dispatch");
+        finish.saturating_duration_since(now)
+    }
+
+    fn nominal_rate(&self) -> Option<Iops> {
+        self.inner.nominal_rate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +203,55 @@ mod tests {
         let s = FixedRateServer::new(Iops::new(100.0));
         assert_eq!(s.nominal_rate().unwrap().get(), 100.0);
         assert_eq!(s.rate().get(), 100.0);
+    }
+
+    #[derive(Debug)]
+    struct DoubleTime;
+
+    impl CapacityModulation for DoubleTime {
+        fn finish_time(&self, start: SimTime, work: SimDuration) -> SimTime {
+            start + work + work
+        }
+    }
+
+    #[derive(Debug)]
+    struct ExplicitIdentity;
+
+    impl CapacityModulation for ExplicitIdentity {
+        fn finish_time(&self, start: SimTime, work: SimDuration) -> SimTime {
+            start + work
+        }
+
+        fn is_identity(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn modulated_server_stretches_service() {
+        let mut s = ModulatedServer::new(FixedRateServer::new(Iops::new(100.0)), DoubleTime);
+        let r = Request::at(SimTime::ZERO);
+        assert_eq!(
+            s.service_time(&r, SimTime::from_secs(3)),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(s.nominal_rate(), Some(Iops::new(100.0)));
+        assert_eq!(s.inner().rate(), Iops::new(100.0));
+    }
+
+    #[test]
+    fn identity_modulation_is_bypassed() {
+        let mut plain = FixedRateServer::new(Iops::new(333.0));
+        let mut wrapped = ModulatedServer::new(plain, ExplicitIdentity);
+        let r = Request::at(SimTime::ZERO);
+        for t in [0u64, 1, 7, 1_000_000] {
+            let now = SimTime::from_nanos(t);
+            assert_eq!(
+                wrapped.service_time(&r, now),
+                plain.service_time(&r, now),
+                "identity wrapper diverged at t={t}"
+            );
+        }
     }
 
     #[test]

@@ -27,10 +27,13 @@ use crate::workload::Workload;
 pub enum ParseSpcError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed record, with its 1-based line number and a description.
+    /// A malformed record, with its 1-based line and field position and a
+    /// description.
     Malformed {
         /// 1-based line number of the offending record.
         line: usize,
+        /// 1-based comma-separated field index the error was detected in.
+        column: usize,
         /// What was wrong with the record.
         reason: String,
     },
@@ -40,8 +43,15 @@ impl fmt::Display for ParseSpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseSpcError::Io(e) => write!(f, "i/o error reading SPC trace: {e}"),
-            ParseSpcError::Malformed { line, reason } => {
-                write!(f, "malformed SPC record at line {line}: {reason}")
+            ParseSpcError::Malformed {
+                line,
+                column,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "malformed SPC record at line {line}, field {column}: {reason}"
+                )
             }
         }
     }
@@ -97,35 +107,54 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Workload, ParseSpcError> {
     Ok(Workload::from_requests(requests))
 }
 
+/// The largest timestamp (in seconds) the nanosecond simulation clock can
+/// represent; anything larger in a trace is a corrupt record, not a valid
+/// 580-year experiment.
+const MAX_TIMESTAMP_SECS: f64 = (u64::MAX / 1_000_000_000) as f64;
+
 fn parse_record(record: &str, line: usize) -> Result<Request, ParseSpcError> {
-    let malformed = |reason: String| ParseSpcError::Malformed { line, reason };
-    let mut fields = record.split(',');
-    let mut next_field = |name: &str| {
+    let malformed = |column: usize, reason: String| ParseSpcError::Malformed {
+        line,
+        column,
+        reason,
+    };
+    let fields: Vec<&str> = record.split(',').map(str::trim).collect();
+    let field = |column: usize, name: &str| {
         fields
-            .next()
-            .map(str::trim)
+            .get(column - 1)
+            .copied()
             .filter(|s| !s.is_empty())
-            .ok_or_else(|| malformed(format!("missing field `{name}`")))
+            .ok_or_else(|| malformed(column, format!("missing field `{name}`")))
     };
 
-    let _asu = next_field("asu")?;
-    let lba: u64 = next_field("lba")?
+    let _asu = field(1, "asu")?;
+    let lba: u64 = field(2, "lba")?
         .parse()
-        .map_err(|e| malformed(format!("bad LBA: {e}")))?;
-    let size: u32 = next_field("size")?
+        .map_err(|e| malformed(2, format!("bad LBA: {e}")))?;
+    let size: u32 = field(3, "size")?
         .parse()
-        .map_err(|e| malformed(format!("bad size: {e}")))?;
-    let opcode = next_field("opcode")?;
+        .map_err(|e| malformed(3, format!("bad size: {e}")))?;
+    let opcode = field(4, "opcode")?;
     let kind = match opcode {
         "R" | "r" => RequestKind::Read,
         "W" | "w" => RequestKind::Write,
-        other => return Err(malformed(format!("bad opcode `{other}`"))),
+        other => return Err(malformed(4, format!("bad opcode `{other}`"))),
     };
-    let ts: f64 = next_field("timestamp")?
+    let ts: f64 = field(5, "timestamp")?
         .parse()
-        .map_err(|e| malformed(format!("bad timestamp: {e}")))?;
+        .map_err(|e| malformed(5, format!("bad timestamp: {e}")))?;
     if !ts.is_finite() || ts < 0.0 {
-        return Err(malformed(format!("negative or non-finite timestamp {ts}")));
+        return Err(malformed(
+            5,
+            format!("negative or non-finite timestamp {ts}"),
+        ));
+    }
+    // Pre-empt the SimTime constructor's panic on unrepresentable instants.
+    if ts > MAX_TIMESTAMP_SECS {
+        return Err(malformed(
+            5,
+            format!("timestamp {ts} overflows the nanosecond clock"),
+        ));
     }
 
     Ok(Request::at(SimTime::from_secs_f64(ts))
@@ -213,17 +242,44 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_opcode_with_line_number() {
+    fn rejects_bad_opcode_with_line_and_column() {
         let trace = "0,1,512,R,0.0\n0,1,512,X,1.0\n";
         let err = read_trace(trace.as_bytes()).unwrap_err();
         match err {
-            ParseSpcError::Malformed { line, ref reason } => {
+            ParseSpcError::Malformed {
+                line,
+                column,
+                ref reason,
+            } => {
                 assert_eq!(line, 2);
+                assert_eq!(column, 4);
                 assert!(reason.contains("opcode"), "{reason}");
             }
             other => panic!("unexpected error {other}"),
         }
-        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("line 2, field 4"));
+    }
+
+    #[test]
+    fn rejects_unrepresentable_timestamp_instead_of_panicking() {
+        // Finite but beyond what the nanosecond u64 clock can hold: must be
+        // a parse error, not an assertion failure inside SimTime.
+        let err = read_trace("0,1,512,R,1e300\n".as_bytes()).unwrap_err();
+        match err {
+            ParseSpcError::Malformed {
+                column, ref reason, ..
+            } => {
+                assert_eq!(column, 5);
+                assert!(reason.contains("overflows"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nan_timestamp() {
+        let err = read_trace("0,1,512,R,NaN\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("timestamp"), "{err}");
     }
 
     #[test]

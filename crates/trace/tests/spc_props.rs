@@ -1,0 +1,94 @@
+//! The SPC parser must never panic: any byte soup — malformed fields,
+//! truncated records, NaN/huge/negative numbers, stray separators — yields
+//! either a parsed workload or a structured [`ParseSpcError`], with
+//! line/field context on malformed records.
+
+use gqos_trace::spc::{self, ParseSpcError};
+use proptest::prelude::*;
+
+/// Fragments biased toward the parser's decision points: numbers around
+/// every representability edge, opcodes of both cases, junk, separators.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("0".to_string()),
+        Just("47126".to_string()),
+        Just("8192".to_string()),
+        Just("R".to_string()),
+        Just("w".to_string()),
+        Just("X".to_string()),
+        Just("0.011413".to_string()),
+        Just("-3".to_string()),
+        Just("NaN".to_string()),
+        Just("inf".to_string()),
+        Just("-inf".to_string()),
+        Just("1e300".to_string()),
+        Just("18446744073".to_string()), // ≈ the clock's last second
+        Just("18446744074".to_string()), // just past it
+        Just("999999999999999999999".to_string()),
+        Just(String::new()),
+        Just(" ".to_string()),
+        Just("#".to_string()),
+        junk(),
+        any::<f64>().prop_map(|v| v.to_string()),
+        any::<u64>().prop_map(|v| v.to_string()),
+    ]
+}
+
+/// Short strings over a hostile alphabet (the vendored proptest has no
+/// regex strategies).
+fn junk() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &['a', 'z', '0', '9', '.', ',', '-', ' ', 'e', '+'];
+    prop::collection::vec(0usize..ALPHABET.len(), 0..8)
+        .prop_map(|indices| indices.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// A line is a few fragments joined by commas (sometimes the wrong number
+/// of fields, sometimes trailing or leading separators).
+fn line() -> impl Strategy<Value = String> {
+    prop::collection::vec(fragment(), 0..8).prop_map(|parts| parts.join(","))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Parsing arbitrary structured-ish lines never panics, and every
+    /// malformed error carries usable context.
+    #[test]
+    fn parser_never_panics_on_adversarial_lines(
+        lines in prop::collection::vec(line(), 0..12),
+    ) {
+        let input = lines.join("\n");
+        match spc::read_trace(input.as_bytes()) {
+            Ok(workload) => {
+                // Whatever parsed must be internally consistent.
+                prop_assert!(workload.len() <= lines.len());
+            }
+            Err(ParseSpcError::Malformed { line, column, reason }) => {
+                prop_assert!(line >= 1 && line <= lines.len());
+                prop_assert!((1..=5).contains(&column), "column {column}");
+                prop_assert!(!reason.is_empty());
+            }
+            Err(ParseSpcError::Io(_)) => {
+                // Reading from a byte slice cannot fail, but the arm must
+                // stay total.
+            }
+        }
+    }
+
+    /// Truncating a valid trace at an arbitrary byte never panics.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..120) {
+        let full = "0,47126,8192,R,0.011413\n0,47134,8192,W,0.024\n0,9,512,r,1.5\n";
+        let cut = cut.min(full.len());
+        let _ = spc::read_trace(full.as_bytes()[..cut].as_ref());
+    }
+
+    /// Every non-negative finite timestamp within clock range round-trips
+    /// through write + read without panicking.
+    #[test]
+    fn representable_timestamps_parse(ts in 0.0f64..1.0e9) {
+        let text = format!("0,1,512,R,{ts}\n");
+        let parsed = spc::read_trace(text.as_bytes());
+        prop_assert!(parsed.is_ok(), "rejected valid timestamp {ts}");
+    }
+}
