@@ -1,0 +1,6 @@
+//! Generates the metrics-validated observability run report
+//! (`results/run_report.json`).
+
+fn main() {
+    gqos_bench::experiments::run_report::run(&gqos_bench::ExpConfig::from_env());
+}

@@ -10,4 +10,5 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod run_report;
 pub mod table1;

@@ -117,3 +117,52 @@ fn fault_sweep_severity_zero_matches_plain_runs() {
         );
     }
 }
+
+/// The observability report joins the serial-vs-parallel contract: the
+/// rendered text and the `run_report.json` bytes must be identical at any
+/// thread count — including the pool-sharded sketch merge, whose shard
+/// boundaries differ between 1 and 4 workers but whose merged sketch may
+/// not.
+#[test]
+fn run_report_serial_parallel_identical() {
+    use gqos_bench::experiments::run_report;
+
+    let dir = std::env::temp_dir().join("gqos_parallel_equiv_run_report");
+    let out = dir.to_str().expect("utf-8 temp path");
+
+    let serial_text = run_report::report(&cfg(1, out));
+    let serial_json = fs::read(dir.join("run_report.json")).expect("serial JSON");
+
+    let parallel_text = run_report::report(&cfg(4, out));
+    let parallel_json = fs::read(dir.join("run_report.json")).expect("parallel JSON");
+
+    assert_eq!(
+        serial_text, parallel_text,
+        "run_report: report text diverged"
+    );
+    assert_eq!(
+        serial_json, parallel_json,
+        "run_report: JSON bytes diverged"
+    );
+    assert!(serial_text.contains("ok"), "audit verdict missing");
+    let json = String::from_utf8(serial_json).expect("utf-8 JSON");
+    assert!(json.contains("\"sharded_merge_identical\": true"));
+    assert!(!json.contains("\"ok\": false"), "an audit failed:\n{json}");
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Every policy's audit must hold on the parallel path too: replayed miss
+/// fractions equal aggregates, lifecycles are clean, merges bit-identical.
+#[test]
+fn run_report_audits_pass_on_the_parallel_path() {
+    use gqos_bench::experiments::run_report;
+
+    let summaries = run_report::compute(&cfg(4, "unused"));
+    assert_eq!(summaries.len(), 4);
+    for s in &summaries {
+        assert!(s.ok(), "{}: observability audit failed", s.policy);
+        assert_eq!(s.aggregate_miss, s.replay_miss, "{}", s.policy);
+        assert!(s.merge_identical, "{}", s.policy);
+        assert!(s.violations.is_empty(), "{}: {:?}", s.policy, s.violations);
+    }
+}

@@ -22,7 +22,9 @@ use std::fmt;
 use std::rc::Rc;
 
 use gqos_faults::CapacityEstimator;
-use gqos_sim::{Dispatch, FcfsScheduler, Scheduler, ServerId, ServiceClass};
+use gqos_sim::{
+    Dispatch, FcfsScheduler, Scheduler, ServerId, ServiceClass, TraceEvent, TraceHandle,
+};
 use gqos_trace::{Iops, Request, RequestId, SimDuration, SimTime};
 
 /// The graduated ladder of renegotiated capacity fractions, descending from
@@ -254,6 +256,7 @@ pub struct AdaptiveScheduler<S> {
     /// `(request, dispatch instant, server)` for requests in service.
     in_flight: Vec<(RequestId, SimTime, usize)>,
     log: Option<AdmissionLog>,
+    trace: TraceHandle,
 }
 
 impl<S: CapacityAdaptive> AdaptiveScheduler<S> {
@@ -272,6 +275,7 @@ impl<S: CapacityAdaptive> AdaptiveScheduler<S> {
             nominals: server_rates.iter().map(|r| r.service_time()).collect(),
             in_flight: Vec::new(),
             log: None,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -280,6 +284,13 @@ impl<S: CapacityAdaptive> AdaptiveScheduler<S> {
         let log: AdmissionLog = Rc::new(RefCell::new(Vec::new()));
         self.log = Some(Rc::clone(&log));
         (self, log)
+    }
+
+    /// Emits a `DegradationChanged` event into `trace` at every graduated
+    /// rung change (both degradations and recoveries).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The wrapped scheduler.
@@ -327,7 +338,13 @@ impl<S: CapacityAdaptive> Scheduler for AdaptiveScheduler<S> {
             let (_, dispatched, server) = self.in_flight.swap_remove(pos);
             let observed = now.saturating_duration_since(dispatched);
             let nominal = self.nominals[server];
+            let before = self.controller.factor();
             if let Some(factor) = self.controller.observe(observed, nominal) {
+                self.trace.emit_with(|| TraceEvent::DegradationChanged {
+                    at: now,
+                    from_factor: before,
+                    to_factor: factor,
+                });
                 self.inner.renegotiate(factor);
             }
         }

@@ -9,7 +9,7 @@
 use std::fmt;
 
 use gqos_fairqueue::{FlowId, FlowScheduler, Sfq};
-use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
+use gqos_sim::{Dispatch, PolicyTag, Scheduler, ServerId, ServiceClass, TraceEvent, TraceHandle};
 use gqos_trace::{Request, SimDuration, SimTime};
 
 use crate::degrade::CapacityAdaptive;
@@ -47,6 +47,7 @@ pub struct FairQueueScheduler<F = Sfq> {
     flows: F,
     /// The healthy `[Cmin, ΔC]` weights renegotiation scales from.
     nominal_weights: [f64; 2],
+    trace: TraceHandle,
 }
 
 impl FairQueueScheduler<Sfq> {
@@ -56,10 +57,18 @@ impl FairQueueScheduler<Sfq> {
     ///
     /// Panics if the RTT bound `⌊Cmin·δ⌋` is zero.
     pub fn new(provision: Provision, deadline: SimDuration) -> Self {
+        FairQueueScheduler::with_trace(provision, deadline, TraceHandle::disabled())
+    }
+
+    /// Like [`new`](FairQueueScheduler::new), emitting `Admitted`/`Diverted`
+    /// (with Q1 depth) and `Dispatched` (policy tag `fairqueue`) events into
+    /// `trace`.
+    pub fn with_trace(provision: Provision, deadline: SimDuration, trace: TraceHandle) -> Self {
         FairQueueScheduler {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             flows: Sfq::new(&provision.weights()),
             nominal_weights: provision.weights(),
+            trace,
         }
     }
 }
@@ -78,6 +87,7 @@ impl<F: FlowScheduler> FairQueueScheduler<F> {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             flows,
             nominal_weights: provision.weights(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -93,14 +103,28 @@ impl<F: FlowScheduler> FairQueueScheduler<F> {
 }
 
 impl<F: FlowScheduler> Scheduler for FairQueueScheduler<F> {
-    fn on_arrival(&mut self, request: Request, _now: SimTime) {
+    fn on_arrival(&mut self, request: Request, now: SimTime) {
         match self.rtt.classify() {
-            ServiceClass::PRIMARY => self.flows.enqueue(PRIMARY_FLOW, request),
-            _ => self.flows.enqueue(OVERFLOW_FLOW, request),
+            ServiceClass::PRIMARY => {
+                self.trace.emit_with(|| TraceEvent::Admitted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
+                self.flows.enqueue(PRIMARY_FLOW, request);
+            }
+            _ => {
+                self.trace.emit_with(|| TraceEvent::Diverted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
+                self.flows.enqueue(OVERFLOW_FLOW, request);
+            }
         }
     }
 
-    fn next_for(&mut self, _server: ServerId, _now: SimTime) -> Dispatch {
+    fn next_for(&mut self, server: ServerId, now: SimTime) -> Dispatch {
         match self.flows.dequeue() {
             Some((flow, request)) => {
                 let class = if flow == PRIMARY_FLOW {
@@ -108,6 +132,14 @@ impl<F: FlowScheduler> Scheduler for FairQueueScheduler<F> {
                 } else {
                     ServiceClass::OVERFLOW
                 };
+                self.trace.emit_with(|| TraceEvent::Dispatched {
+                    at: now,
+                    id: request.id.index(),
+                    class: class.index(),
+                    server: server.index(),
+                    policy: PolicyTag::FairQueue,
+                    slack: None,
+                });
                 Dispatch::Serve(request, class)
             }
             None => Dispatch::Idle,

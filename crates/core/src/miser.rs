@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
+use gqos_sim::{Dispatch, PolicyTag, Scheduler, ServerId, ServiceClass, TraceEvent, TraceHandle};
 use gqos_trace::{Request, SimDuration, SimTime};
 
 use crate::degrade::CapacityAdaptive;
@@ -52,6 +52,7 @@ pub struct MiserScheduler {
     q2: VecDeque<Request>,
     /// Cached minimum slack over `q1`; `None` when `q1` is empty.
     min_slack: Option<u64>,
+    trace: TraceHandle,
 }
 
 impl MiserScheduler {
@@ -64,11 +65,19 @@ impl MiserScheduler {
     /// Panics if the RTT bound `⌊Cmin·δ⌋` is zero (see
     /// [`RttClassifier::new`]).
     pub fn new(provision: Provision, deadline: SimDuration) -> Self {
+        MiserScheduler::with_trace(provision, deadline, TraceHandle::disabled())
+    }
+
+    /// Like [`new`](MiserScheduler::new), emitting `Admitted`/`Diverted`
+    /// (with Q1 depth) and `Dispatched` (policy tag `miser`, with the slack
+    /// in force at the dispatch decision) events into `trace`.
+    pub fn with_trace(provision: Provision, deadline: SimDuration, trace: TraceHandle) -> Self {
         MiserScheduler {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             q1: VecDeque::new(),
             q2: VecDeque::new(),
             min_slack: None,
+            trace,
         }
     }
 
@@ -105,7 +114,7 @@ impl MiserScheduler {
 }
 
 impl Scheduler for MiserScheduler {
-    fn on_arrival(&mut self, request: Request, _now: SimTime) {
+    fn on_arrival(&mut self, request: Request, now: SimTime) {
         match self.rtt.classify() {
             ServiceClass::PRIMARY => {
                 // Slack after admission: spare primary slots remaining.
@@ -115,13 +124,27 @@ impl Scheduler for MiserScheduler {
                     Some(m) => m.min(slack),
                 });
                 self.q1.push_back((request, slack));
+                self.trace.emit_with(|| TraceEvent::Admitted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
             }
-            _ => self.q2.push_back(request),
+            _ => {
+                self.trace.emit_with(|| TraceEvent::Diverted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
+                self.q2.push_back(request);
+            }
         }
     }
 
-    fn next_for(&mut self, _server: ServerId, _now: SimTime) -> Dispatch {
+    fn next_for(&mut self, server: ServerId, now: SimTime) -> Dispatch {
         if self.serve_overflow_now() {
+            // The slack that authorised stealing this slot.
+            let stolen_from = self.min_slack;
             let request = self.q2.pop_front().expect("q2 checked non-empty");
             // Serving an overflow request consumes one service slot every
             // queued primary request was counting on.
@@ -132,6 +155,14 @@ impl Scheduler for MiserScheduler {
             if let Some(m) = &mut self.min_slack {
                 *m -= 1;
             }
+            self.trace.emit_with(|| TraceEvent::Dispatched {
+                at: now,
+                id: request.id.index(),
+                class: ServiceClass::OVERFLOW.index(),
+                server: server.index(),
+                policy: PolicyTag::Miser,
+                slack: stolen_from,
+            });
             return Dispatch::Serve(request, ServiceClass::OVERFLOW);
         }
         match self.q1.pop_front() {
@@ -139,12 +170,30 @@ impl Scheduler for MiserScheduler {
                 if Some(slack) == self.min_slack {
                     self.recompute_min_slack();
                 }
+                self.trace.emit_with(|| TraceEvent::Dispatched {
+                    at: now,
+                    id: request.id.index(),
+                    class: ServiceClass::PRIMARY.index(),
+                    server: server.index(),
+                    policy: PolicyTag::Miser,
+                    slack: Some(slack),
+                });
                 Dispatch::Serve(request, ServiceClass::PRIMARY)
             }
             None => match self.q2.pop_front() {
                 // min_slack == Some(0) with an empty q1 cannot happen, but a
                 // non-empty q2 with q1 empty is served work-conservingly.
-                Some(request) => Dispatch::Serve(request, ServiceClass::OVERFLOW),
+                Some(request) => {
+                    self.trace.emit_with(|| TraceEvent::Dispatched {
+                        at: now,
+                        id: request.id.index(),
+                        class: ServiceClass::OVERFLOW.index(),
+                        server: server.index(),
+                        policy: PolicyTag::Miser,
+                        slack: None,
+                    });
+                    Dispatch::Serve(request, ServiceClass::OVERFLOW)
+                }
                 None => Dispatch::Idle,
             },
         }

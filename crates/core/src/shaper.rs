@@ -10,7 +10,7 @@ use std::rc::Rc;
 use gqos_faults::FaultSchedule;
 use gqos_sim::{
     FcfsScheduler, FixedRateServer, ModulatedServer, RunReport, Scheduler, ServiceClass,
-    ServiceModel, Simulation,
+    ServiceModel, Simulation, TraceHandle,
 };
 use gqos_trace::{Iops, SimDuration, Workload};
 
@@ -158,6 +158,57 @@ impl WorkloadShaper {
                     .server(FixedRateServer::new(p.total()))
                     .run()
             }
+        }
+    }
+
+    /// Like [`run`](WorkloadShaper::run), but with the full event trace
+    /// routed into `trace`: the engine emits `Arrival`/`Completed` (the
+    /// latter judged against the shaper's deadline), the policy scheduler
+    /// emits `Admitted`/`Diverted`/`Dispatched`.
+    ///
+    /// Tracing never changes scheduling decisions — a run traced into any
+    /// sink produces a [`RunReport`] identical to the untraced
+    /// [`run`](WorkloadShaper::run).
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        policy: RecombinePolicy,
+        trace: TraceHandle,
+    ) -> RunReport {
+        let p = self.provision;
+        match policy {
+            RecombinePolicy::Fcfs => {
+                Simulation::new(workload, FcfsScheduler::with_trace(trace.clone()))
+                    .server(FixedRateServer::new(p.total()))
+                    .trace(trace)
+                    .deadline(self.deadline)
+                    .run()
+            }
+            RecombinePolicy::Split => Simulation::new(
+                workload,
+                SplitScheduler::with_trace(p, self.deadline, trace.clone()),
+            )
+            .server(FixedRateServer::new(p.cmin()))
+            .server(FixedRateServer::new(p.delta_c()))
+            .trace(trace)
+            .deadline(self.deadline)
+            .run(),
+            RecombinePolicy::FairQueue => Simulation::new(
+                workload,
+                FairQueueScheduler::with_trace(p, self.deadline, trace.clone()),
+            )
+            .server(FixedRateServer::new(p.total()))
+            .trace(trace)
+            .deadline(self.deadline)
+            .run(),
+            RecombinePolicy::Miser => Simulation::new(
+                workload,
+                MiserScheduler::with_trace(p, self.deadline, trace.clone()),
+            )
+            .server(FixedRateServer::new(p.total()))
+            .trace(trace)
+            .deadline(self.deadline)
+            .run(),
         }
     }
 

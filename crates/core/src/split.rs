@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use gqos_sim::{Dispatch, Scheduler, ServerId, ServiceClass};
+use gqos_sim::{Dispatch, PolicyTag, Scheduler, ServerId, ServiceClass, TraceEvent, TraceHandle};
 use gqos_trace::{Request, SimDuration, SimTime};
 
 use crate::degrade::CapacityAdaptive;
@@ -48,6 +48,7 @@ pub struct SplitScheduler {
     rtt: RttClassifier,
     q1: VecDeque<Request>,
     q2: VecDeque<Request>,
+    trace: TraceHandle,
 }
 
 impl SplitScheduler {
@@ -57,10 +58,18 @@ impl SplitScheduler {
     ///
     /// Panics if the RTT bound `⌊Cmin·δ⌋` is zero.
     pub fn new(provision: Provision, deadline: SimDuration) -> Self {
+        SplitScheduler::with_trace(provision, deadline, TraceHandle::disabled())
+    }
+
+    /// Like [`new`](SplitScheduler::new), emitting `Admitted`/`Diverted`
+    /// (with Q1 depth) and `Dispatched` (policy tag `split`) events into
+    /// `trace`.
+    pub fn with_trace(provision: Provision, deadline: SimDuration, trace: TraceHandle) -> Self {
         SplitScheduler {
             rtt: RttClassifier::new(provision.cmin(), deadline),
             q1: VecDeque::new(),
             q2: VecDeque::new(),
+            trace,
         }
     }
 
@@ -76,24 +85,46 @@ impl SplitScheduler {
 }
 
 impl Scheduler for SplitScheduler {
-    fn on_arrival(&mut self, request: Request, _now: SimTime) {
+    fn on_arrival(&mut self, request: Request, now: SimTime) {
         match self.rtt.classify() {
-            ServiceClass::PRIMARY => self.q1.push_back(request),
-            _ => self.q2.push_back(request),
+            ServiceClass::PRIMARY => {
+                self.trace.emit_with(|| TraceEvent::Admitted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
+                self.q1.push_back(request);
+            }
+            _ => {
+                self.trace.emit_with(|| TraceEvent::Diverted {
+                    at: now,
+                    id: request.id.index(),
+                    queue_depth: self.rtt.len_q1(),
+                });
+                self.q2.push_back(request);
+            }
         }
     }
 
-    fn next_for(&mut self, server: ServerId, _now: SimTime) -> Dispatch {
-        match server {
-            SPLIT_PRIMARY_SERVER => match self.q1.pop_front() {
-                Some(r) => Dispatch::Serve(r, ServiceClass::PRIMARY),
-                None => Dispatch::Idle,
-            },
-            SPLIT_OVERFLOW_SERVER => match self.q2.pop_front() {
-                Some(r) => Dispatch::Serve(r, ServiceClass::OVERFLOW),
-                None => Dispatch::Idle,
-            },
+    fn next_for(&mut self, server: ServerId, now: SimTime) -> Dispatch {
+        let (queue, class) = match server {
+            SPLIT_PRIMARY_SERVER => (&mut self.q1, ServiceClass::PRIMARY),
+            SPLIT_OVERFLOW_SERVER => (&mut self.q2, ServiceClass::OVERFLOW),
             other => panic!("Split runs on exactly two servers, got {other}"),
+        };
+        match queue.pop_front() {
+            Some(r) => {
+                self.trace.emit_with(|| TraceEvent::Dispatched {
+                    at: now,
+                    id: r.id.index(),
+                    class: class.index(),
+                    server: server.index(),
+                    policy: PolicyTag::Split,
+                    slack: None,
+                });
+                Dispatch::Serve(r, class)
+            }
+            None => Dispatch::Idle,
         }
     }
 

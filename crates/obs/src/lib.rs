@@ -1,0 +1,37 @@
+//! Observability for gqos: structured run tracing, mergeable latency
+//! sketches, and trace replay.
+//!
+//! The crate has three pieces:
+//!
+//! - **Tracing** ([`TraceEvent`], [`TraceSink`], [`TraceHandle`]): typed,
+//!   `Copy` events covering a request's whole lifecycle (arrival, RTT
+//!   admit/divert with queue depth, dispatch with policy and slack,
+//!   completion with deadline verdict) plus degradation rung changes.
+//!   Sinks: [`NullSink`] (instrumented path, events discarded),
+//!   [`MemorySink`] (bounded ring buffer), [`FileSink`] (JSONL stream).
+//!   A disabled [`TraceHandle`] costs one branch per emission site and
+//!   never constructs the event — observability is free when off.
+//! - **Sketches** ([`LatencySketch`]): log-linear bucketed histograms over
+//!   nanosecond latencies with a guaranteed one-sided relative quantile
+//!   error of [`RELATIVE_ERROR_BOUND`] (3.125%), pure integer bucketing,
+//!   and an exact [`merge`](LatencySketch::merge) for combining per-worker
+//!   shards from parallel runs.
+//! - **Replay** ([`ReplayedRun`]): rebuilds per-request lifecycles from a
+//!   trace and independently re-derives miss fractions and percentiles, so
+//!   reported aggregates can be audited against the raw event stream.
+//!
+//! The crate deliberately depends only on `gqos-trace` (for the time
+//! newtypes), so every higher layer — engine, policies, bench — can emit
+//! into it without dependency cycles.
+
+#![warn(missing_docs)]
+
+mod event;
+mod replay;
+mod sink;
+mod sketch;
+
+pub use event::{EventCounts, PolicyTag, TraceEvent};
+pub use replay::{ReplayedRun, RequestLifecycle};
+pub use sink::{FileSink, MemorySink, NullSink, TraceHandle, TraceSink};
+pub use sketch::{LatencySketch, RELATIVE_ERROR_BOUND};

@@ -1,0 +1,387 @@
+//! Mergeable fixed-precision latency sketches.
+//!
+//! [`LatencySketch`] is a log-linear bucketed histogram over `u64`
+//! nanosecond values with a *guaranteed* one-sided relative quantile error
+//! of at most [`RELATIVE_ERROR_BOUND`] (1/32 = 3.125%). Bucketing is pure
+//! integer arithmetic — no floats, no rounding ambiguity — so two sketches
+//! built from the same values are bit-identical, and [`merge`]
+//! (`LatencySketch::merge`) of per-worker shards equals the sketch of the
+//! concatenated stream exactly (bucket counts are just added).
+//!
+//! # Bucket layout
+//!
+//! Values below `2^SUB_BITS` (= 32) get exact unit-width buckets: the sketch
+//! is *lossless* there. Every octave `[2^e, 2^(e+1))` above that is split
+//! into `2^SUB_BITS` equal sub-buckets of width `2^(e-SUB_BITS)`, so a
+//! bucket's upper bound overestimates any member by less than
+//! `width / lower ≤ 1/2^SUB_BITS` of its value.
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Documented guaranteed relative quantile error: `1 / 2^SUB_BITS`.
+///
+/// For any recorded value `v` mapped to its bucket, the bucket upper bound
+/// `u` satisfies `v ≤ u < v · (1 + RELATIVE_ERROR_BOUND)`; quantiles report
+/// bucket upper bounds (clamped to the exact tracked maximum), so a reported
+/// quantile `q̂` versus the exact quantile `q` obeys
+/// `q ≤ q̂ ≤ q · (1 + RELATIVE_ERROR_BOUND)`.
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUBS as f64;
+
+/// Octaves above the linear region: exponents `SUB_BITS..64`.
+const OCTAVES: usize = (64 - SUB_BITS) as usize;
+/// Total bucket count: the linear region plus `SUBS` buckets per octave.
+const BUCKETS: usize = SUBS as usize + OCTAVES * SUBS as usize;
+
+/// A mergeable log-bucketed latency histogram with bounded relative error.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_obs::LatencySketch;
+///
+/// let mut s = LatencySketch::new();
+/// for v in [1_000u64, 2_000, 4_000, 8_000] {
+///     s.record(v);
+/// }
+/// let p50 = s.quantile(0.5);
+/// assert!(p50 >= 2_000 && (p50 as f64) <= 2_000.0 * 1.03125);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LatencySketch {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        LatencySketch::new()
+    }
+}
+
+impl LatencySketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        LatencySketch {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index. Pure integer arithmetic.
+    #[inline]
+    pub(crate) fn bucket_index(value: u64) -> usize {
+        if value < SUBS {
+            value as usize
+        } else {
+            let e = 63 - value.leading_zeros(); // e >= SUB_BITS
+            let shift = e - SUB_BITS;
+            let sub = ((value >> shift) - SUBS) as usize;
+            SUBS as usize + (e - SUB_BITS) as usize * SUBS as usize + sub
+        }
+    }
+
+    /// The largest value mapping into bucket `index` (inclusive upper bound).
+    #[inline]
+    pub(crate) fn bucket_upper(index: usize) -> u64 {
+        if index < SUBS as usize {
+            index as u64
+        } else {
+            let rel = index - SUBS as usize;
+            let shift = (rel / SUBS as usize) as u32;
+            let sub = (rel % SUBS as usize) as u64;
+            // Bucket covers [(SUBS + sub) << shift, (SUBS + sub + 1) << shift).
+            // The very top bucket's exclusive end is 2^64, which does not
+            // fit in u64 — its inclusive upper bound is exactly u64::MAX.
+            let next = SUBS + sub + 1;
+            if shift > next.leading_zeros() {
+                u64::MAX
+            } else {
+                (next << shift) - 1
+            }
+        }
+    }
+
+    /// Records one latency value (nanoseconds).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, nearest-rank convention.
+    ///
+    /// Returns the containing bucket's upper bound, clamped to the exact
+    /// tracked maximum, so the result `q̂` versus the exact quantile `q`
+    /// satisfies `q ≤ q̂ ≤ q · (1 + RELATIVE_ERROR_BOUND)`. Returns 0 for an
+    /// empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.is_empty() {
+            return 0;
+        }
+        // Nearest-rank: the smallest value with at least ceil(q * n) values
+        // at or below it (rank clamped to [1, n]) — the same convention as
+        // the exact sorted-vector oracle in gqos-sim::metrics.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// The exact fraction of recorded values `<= threshold`, up to bucket
+    /// resolution: exact whenever `threshold` falls on a bucket boundary,
+    /// otherwise counts whole buckets with upper bound `<= threshold`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 && Self::bucket_upper(i) <= threshold {
+                below += c;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// Adds all of `other`'s recorded values into `self`.
+    ///
+    /// Bucket counts are added elementwise, so merging per-worker shards is
+    /// *exactly* equivalent to having built one sketch over the concatenated
+    /// stream — bit-identical counts, min, max, and sum.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over a sorted copy — the oracle.
+    fn exact_quantile(values: &[u64], q: f64) -> u64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn small_values_are_lossless() {
+        // The linear region stores values < 32 in unit buckets.
+        for v in 0..SUBS {
+            let i = LatencySketch::bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(LatencySketch::bucket_upper(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        // Every value must satisfy v <= upper(bucket(v)) < v * (1 + bound),
+        // including at powers of two and their neighbours.
+        let mut probes: Vec<u64> = vec![0, 1, 31, 32, 33, u64::MAX];
+        for e in 5..64u32 {
+            let base = 1u64 << e;
+            probes.extend([base - 1, base, base + 1]);
+            probes.push(base | (base >> 1)); // mid-octave
+        }
+        for &v in &probes {
+            let i = LatencySketch::bucket_index(v);
+            let upper = LatencySketch::bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            if v >= SUBS {
+                // width / lower <= 1/32 bounds the overestimate (the f64
+                // division can round the strict inequality up to equality).
+                let over = (upper - v) as f64 / v as f64;
+                assert!(
+                    over <= RELATIVE_ERROR_BOUND,
+                    "value {v}: overestimate {over} exceeds bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut probes: Vec<u64> = (0..200).collect();
+        for e in 5..64u32 {
+            let base = 1u64 << e;
+            probes.extend([base - 1, base, base + 1, base | (base >> 2)]);
+        }
+        probes.sort_unstable();
+        for pair in probes.windows(2) {
+            assert!(
+                LatencySketch::bucket_index(pair[0]) <= LatencySketch::bucket_index(pair[1]),
+                "bucket index not monotone at {} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_the_oracle_within_bound() {
+        // Deterministic LCG; no external RNG needed for a unit test.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 20 // spread over ~44 bits
+        };
+        let values: Vec<u64> = (0..10_000).map(|_| next() % 10_000_000_000).collect();
+        let mut sketch = LatencySketch::new();
+        for &v in &values {
+            sketch.record(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let approx = sketch.quantile(q);
+            assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+            let bound = exact as f64 * (1.0 + RELATIVE_ERROR_BOUND);
+            assert!(
+                approx as f64 <= bound.max(exact as f64 + 1.0),
+                "q={q}: approx {approx} above bound {bound} (exact {exact})"
+            );
+        }
+        assert_eq!(sketch.quantile(1.0), *values.iter().max().unwrap());
+        assert_eq!(sketch.min(), *values.iter().min().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_concatenation_bit_identical() {
+        let a_vals: Vec<u64> = (0..500).map(|i| i * 977 + 13).collect();
+        let b_vals: Vec<u64> = (0..300).map(|i| i * 104_729 + 7).collect();
+        let mut a = LatencySketch::new();
+        let mut b = LatencySketch::new();
+        let mut whole = LatencySketch::new();
+        for &v in &a_vals {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merged shards differ from concatenated sketch");
+    }
+
+    #[test]
+    fn empty_and_single_value_edges() {
+        let mut s = LatencySketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.fraction_below(10), 1.0);
+        s.record(42);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.0), 42);
+        assert_eq!(s.quantile(1.0), 42);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn fraction_below_is_exact_on_boundaries() {
+        let mut s = LatencySketch::new();
+        for v in [10u64, 20, 30, 31] {
+            s.record(v);
+        }
+        // All in the lossless linear region.
+        assert_eq!(s.fraction_below(9), 0.0);
+        assert_eq!(s.fraction_below(10), 0.25);
+        assert_eq!(s.fraction_below(30), 0.75);
+        assert_eq!(s.fraction_below(31), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        LatencySketch::new().quantile(1.5);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut s = LatencySketch::new();
+        s.record(0);
+        s.record(u64::MAX);
+        s.record(u64::MAX - 1);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(s.quantile(0.0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Differential properties: [`LatencySketch`] quantiles against an exact
+//! sorted-vector oracle, and merge against sketch-of-concatenation.
+//!
+//! The oracle uses the same nearest-rank convention as
+//! `gqos-sim::ResponseStats::percentile`: `rank = ceil(q·n)` clamped to
+//! `[1, n]`, answer = `sorted[rank-1]`. The sketch must never under-report
+//! the oracle, and may over-report by at most the documented one-sided
+//! relative bound — asserted in exact integer arithmetic:
+//! `(sketch − exact)·32 ≤ exact`.
+
+use gqos_obs::{LatencySketch, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// The quantiles the run report renders: p50/p90/p99/p999.
+const QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+/// Exact nearest-rank quantile over a sorted sample.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn sketch_of(values: &[u64]) -> LatencySketch {
+    let mut sketch = LatencySketch::new();
+    for &v in values {
+        sketch.record(v);
+    }
+    sketch
+}
+
+/// Latencies spanning every regime the sketch has to cover: the lossless
+/// unit-bucket region, realistic nanosecond latencies, and the extreme
+/// octaves near `u64::MAX`.
+fn latency() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..32,                         // lossless linear region
+        32u64..1_000_000,                 // sub-millisecond ns
+        1_000_000u64..10_000_000_000_000, // ms .. hours in ns
+        any::<u64>(),                     // arbitrary, incl. extremes
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// p50/p90/p99/p999 of the sketch bracket the exact oracle from above,
+    /// within the documented relative bound, on every generated sample.
+    #[test]
+    fn quantiles_match_exact_oracle(mut values in prop::collection::vec(latency(), 1..400)) {
+        let sketch = sketch_of(&values);
+        values.sort_unstable();
+        for q in QUANTILES {
+            let exact = oracle(&values, q);
+            let approx = sketch.quantile(q);
+            prop_assert!(
+                approx >= exact,
+                "p{q}: sketch {approx} under-reports exact {exact}"
+            );
+            // (approx − exact)·32 ≤ exact is the integer form of the
+            // documented one-sided bound (approx − exact)/exact ≤ 1/32.
+            prop_assert!(
+                (approx - exact) as u128 * 32 <= exact as u128,
+                "p{q}: sketch {approx} exceeds exact {exact} by more than {}",
+                RELATIVE_ERROR_BOUND
+            );
+        }
+    }
+
+    /// `merge(a, b)` is bit-identical to the sketch of the concatenation:
+    /// same bucket counts, same min/max/sum, hence same quantiles.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(latency(), 0..200),
+        b in prop::collection::vec(latency(), 0..200),
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = sketch_of(&concat);
+
+        prop_assert_eq!(&merged, &direct, "merge diverged from concatenation");
+        prop_assert_eq!(merged.nonzero_buckets(), direct.nonzero_buckets());
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Merging is order-insensitive: a ∪ b == b ∪ a, bit for bit.
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(latency(), 0..200),
+        b in prop::collection::vec(latency(), 0..200),
+    ) {
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b));
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `fraction_below` agrees exactly with the oracle at bucket boundaries:
+    /// counting values strictly below a recorded value's bucket upper bound
+    /// can never disagree by more than the in-bucket population.
+    #[test]
+    fn count_and_extremes_are_exact(values in prop::collection::vec(latency(), 1..400)) {
+        let sketch = sketch_of(&values);
+        prop_assert_eq!(sketch.count(), values.len() as u64);
+        prop_assert_eq!(sketch.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(sketch.max(), *values.iter().max().unwrap());
+        let mean_exact = values.iter().map(|&v| v as u128).sum::<u128>() as f64
+            / values.len() as f64;
+        let rel = if mean_exact == 0.0 {
+            (sketch.mean() - mean_exact).abs()
+        } else {
+            (sketch.mean() - mean_exact).abs() / mean_exact
+        };
+        prop_assert!(rel < 1e-9, "mean drifted: {} vs {}", sketch.mean(), mean_exact);
+    }
+}

@@ -1,5 +1,6 @@
 //! The discrete-event simulation driver.
 
+use gqos_obs::{TraceEvent, TraceHandle};
 use gqos_trace::{Request, SimDuration, SimTime, Workload};
 
 use crate::event::{Event, EventKind, IndexedEventQueue};
@@ -33,6 +34,8 @@ pub struct Simulation<'w, S> {
     workload: &'w Workload,
     scheduler: S,
     servers: Vec<Box<dyn ServiceModel>>,
+    trace: TraceHandle,
+    deadline: Option<SimDuration>,
 }
 
 impl<S> std::fmt::Debug for Simulation<'_, S> {
@@ -52,7 +55,25 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
             workload,
             scheduler,
             servers: Vec::new(),
+            trace: TraceHandle::disabled(),
+            deadline: None,
         }
+    }
+
+    /// Attaches a trace handle; the engine emits `Arrival` and `Completed`
+    /// events into it (schedulers emit their own admit/divert/dispatch
+    /// events through their own handles). A disabled handle — the default —
+    /// costs one untaken branch per event, so untraced runs are unchanged.
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the deadline used for the per-completion `deadline_met` verdict
+    /// in trace events. Without one, completions carry no verdict.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Adds a server with the given service model. Servers are identified by
@@ -124,6 +145,10 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
             end_time = end_time.max(now);
             match kind {
                 EventKind::Arrival { index } => {
+                    self.trace.emit_with(|| TraceEvent::Arrival {
+                        at: now,
+                        id: requests[index].id.index(),
+                    });
                     self.scheduler.on_arrival(requests[index], now);
                     if index + 1 < total {
                         queue.push(Event {
@@ -154,6 +179,16 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
                         arrival: request.arrival,
                         dispatched,
                         completion: now,
+                    });
+                    self.trace.emit_with(|| {
+                        let response = now - request.arrival;
+                        TraceEvent::Completed {
+                            at: now,
+                            id: request.id.index(),
+                            class: class.index(),
+                            response,
+                            deadline_met: self.deadline.map(|d| response <= d),
+                        }
                     });
                     self.scheduler.on_completion(&request, class, now);
                     Self::poll_server(

@@ -1,23 +1,24 @@
-//! A memory-light geometric latency histogram.
+//! A memory-light latency histogram backed by [`gqos_obs::LatencySketch`].
 //!
 //! [`ResponseStats`](crate::ResponseStats) keeps every sample; for very long
 //! runs (or on-line monitoring) [`LatencyHistogram`] records into
-//! geometrically-spaced buckets instead — constant memory, bounded relative
-//! quantile error.
+//! log-linear buckets instead — constant memory, with a *guaranteed*
+//! one-sided relative quantile error of
+//! [`gqos_obs::RELATIVE_ERROR_BOUND`] (3.125%).
+//!
+//! Earlier versions bucketed with floating-point `log2`/`exp2`, whose
+//! rounding could place a value in a bucket whose upper bound was *below*
+//! the value itself (e.g. 549 755 813 888 001 ns mapped to a bucket capped
+//! at 549 755 813 888 000 ns), so quantiles could under-report. The sketch
+//! buckets with pure integer arithmetic, which makes that impossible; the
+//! regression test below pins the exact literals that used to go wrong.
 
 use std::fmt;
 
+use gqos_obs::LatencySketch;
 use gqos_trace::SimDuration;
 
-/// Number of buckets per power of two (resolution ≈ 19% per bucket).
-const SUB_BUCKETS: u32 = 4;
-/// Smallest resolvable latency.
-const MIN_NANOS: u64 = 1_000; // 1 µs
-/// log2 range covered above `MIN_NANOS` (2^40 µs ≈ 12.7 days).
-const LOG_RANGE: u32 = 40;
-const BUCKETS: usize = (LOG_RANGE * SUB_BUCKETS) as usize + 2;
-
-/// Fixed-memory histogram of latencies with geometric buckets.
+/// Fixed-memory histogram of latencies with bounded relative quantile error.
 ///
 /// # Examples
 ///
@@ -30,23 +31,13 @@ const BUCKETS: usize = (LOG_RANGE * SUB_BUCKETS) as usize + 2;
 ///     h.record(SimDuration::from_millis(ms));
 /// }
 /// let median = h.quantile(0.5).unwrap();
-/// // Bucket resolution is ~19%, so the median is near 50 ms.
-/// assert!(median >= SimDuration::from_millis(40));
-/// assert!(median <= SimDuration::from_millis(70));
+/// // Error is bounded by 3.125%, far tighter than the old ~19% buckets.
+/// assert!(median >= SimDuration::from_millis(50));
+/// assert!(median <= SimDuration::from_millis(52));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-        }
-    }
+    sketch: LatencySketch,
 }
 
 impl LatencyHistogram {
@@ -55,85 +46,63 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
-    /// Bucket `0` covers `(0, MIN]`; bucket `i ≥ 1` covers
-    /// `(MIN·2^((i−1)/S), MIN·2^(i/S)]` where `S = SUB_BUCKETS`.
-    fn bucket_index(latency: SimDuration) -> usize {
-        let nanos = latency.as_nanos();
-        if nanos <= MIN_NANOS {
-            return 0;
-        }
-        let ratio = nanos as f64 / MIN_NANOS as f64;
-        let idx = (ratio.log2() * SUB_BUCKETS as f64).ceil() as usize;
-        idx.clamp(1, BUCKETS - 1)
-    }
-
-    /// Upper latency bound of bucket `idx`.
-    fn bucket_upper(idx: usize) -> SimDuration {
-        let exp = idx as f64 / SUB_BUCKETS as f64;
-        let nanos = (MIN_NANOS as f64 * exp.exp2()).round();
-        SimDuration::from_nanos(nanos.min(u64::MAX as f64) as u64)
-    }
-
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimDuration) {
-        self.counts[Self::bucket_index(latency)] += 1;
-        self.total += 1;
+        self.sketch.record(latency.as_nanos());
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> u64 {
-        self.total
+        self.sketch.count()
     }
 
     /// `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.total == 0
+        self.sketch.is_empty()
     }
 
     /// Fraction of samples at or below `bound` (upper-bucket-bound
     /// semantics: a sample counts as within `bound` when its whole bucket
-    /// is).
+    /// is). Returns 0.0 when empty, matching the previous behaviour.
     pub fn fraction_within(&self, bound: SimDuration) -> f64 {
-        if self.total == 0 {
+        if self.sketch.is_empty() {
             return 0.0;
         }
-        let mut within = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if Self::bucket_upper(i) <= bound {
-                within += c;
-            }
-        }
-        within as f64 / self.total as f64
+        self.sketch.fraction_below(bound.as_nanos())
     }
 
-    /// Approximate `q`-quantile: the upper bound of the bucket where the
-    /// cumulative count crosses `q`. Returns `None` when empty.
+    /// The `q`-quantile (nearest-rank): the containing bucket's upper bound
+    /// clamped to the exact recorded maximum, so the result never
+    /// under-reports and overestimates by at most
+    /// [`gqos_obs::RELATIVE_ERROR_BOUND`]. Returns `None` when empty.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if self.total == 0 {
+        if self.sketch.is_empty() {
+            // Validate q even on the empty path, as before.
+            assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
             return None;
         }
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(Self::bucket_upper(i));
-            }
-        }
-        Some(Self::bucket_upper(BUCKETS - 1))
+        Some(SimDuration::from_nanos(self.sketch.quantile(q)))
     }
 
-    /// Merges another histogram's samples into this one.
+    /// Merges another histogram's samples into this one. Exact: merging
+    /// per-shard histograms is bit-identical to one histogram over the
+    /// concatenated samples.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// The underlying mergeable sketch.
+    pub fn sketch(&self) -> &LatencySketch {
+        &self.sketch
+    }
+
+    /// Consumes the histogram, returning the underlying sketch.
+    pub fn into_sketch(self) -> LatencySketch {
+        self.sketch
     }
 }
 
@@ -145,7 +114,7 @@ impl fmt::Display for LatencyHistogram {
         write!(
             f,
             "{} samples, p50 ≤ {}, p99 ≤ {}",
-            self.total,
+            self.len(),
             self.quantile(0.5).expect("non-empty"),
             self.quantile(0.99).expect("non-empty"),
         )
@@ -170,30 +139,29 @@ mod tests {
     }
 
     #[test]
-    fn bucket_bounds_are_monotonic() {
-        let mut prev = SimDuration::ZERO;
-        for i in 0..BUCKETS {
-            let upper = LatencyHistogram::bucket_upper(i);
-            assert!(upper > prev, "bucket {i}: {upper} <= {prev}");
-            prev = upper;
-        }
-    }
-
-    #[test]
-    fn recorded_sample_falls_below_its_bucket_upper() {
-        for nanos in [1u64, 999, 1_000, 1_500, 10_000, 123_456_789, 5_000_000_000] {
-            let d = SimDuration::from_nanos(nanos);
-            let idx = LatencyHistogram::bucket_index(d);
+    fn quantile_never_under_reports_regression() {
+        // These literals violated the old float bucketing: each value mapped
+        // (via `ratio.log2() * 4).ceil()`) into a bucket whose rounded upper
+        // bound was BELOW the value, so quantile() under-reported:
+        //   549_755_813_888_001 ns -> bucket capped at 549_755_813_888_000
+        //   1_099_511_627_776_002 ns -> bucket capped at 1_099_511_627_776_000
+        //   924_575_386_326_617 ns -> bucket capped at 924_575_386_326_615
+        for nanos in [
+            549_755_813_888_001u64,
+            1_099_511_627_776_002,
+            924_575_386_326_617,
+        ] {
+            let mut h = LatencyHistogram::new();
+            h.record(SimDuration::from_nanos(nanos));
+            let q = h.quantile(1.0).unwrap();
             assert!(
-                LatencyHistogram::bucket_upper(idx) >= d,
-                "sample {nanos}ns above bucket upper"
+                q.as_nanos() >= nanos,
+                "quantile {} under-reports recorded {}",
+                q.as_nanos(),
+                nanos
             );
-            if idx > 0 {
-                assert!(
-                    LatencyHistogram::bucket_upper(idx - 1) <= d,
-                    "sample {nanos}ns below previous bucket upper"
-                );
-            }
+            // With a single sample the clamp to the tracked max is exact.
+            assert_eq!(q.as_nanos(), nanos);
         }
     }
 
@@ -203,9 +171,14 @@ mod tests {
         for i in 1..=10_000u64 {
             h.record(SimDuration::from_micros(i));
         }
-        let q = h.quantile(0.5).unwrap().as_nanos() as f64;
         let exact = SimDuration::from_micros(5_000).as_nanos() as f64;
-        assert!((q / exact - 1.0).abs() < 0.3, "q {q}, exact {exact}");
+        let q = h.quantile(0.5).unwrap().as_nanos() as f64;
+        // One-sided: never below, at most 3.125% above.
+        assert!(q >= exact, "q {q} under-reports {exact}");
+        assert!(
+            q <= exact * (1.0 + gqos_obs::RELATIVE_ERROR_BOUND),
+            "q {q}, exact {exact}"
+        );
     }
 
     #[test]
@@ -215,29 +188,38 @@ mod tests {
             h.record(SimDuration::from_millis(i));
         }
         let f = h.fraction_within(ms(500));
-        assert!((f - 0.5).abs() < 0.1, "fraction {f}");
+        assert!((f - 0.5).abs() < 0.04, "fraction {f}");
         assert_eq!(h.fraction_within(SimDuration::from_secs(3600)), 1.0);
     }
 
     #[test]
-    fn merge_adds_counts() {
+    fn merge_adds_counts_and_is_exact() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();
-        a.record(ms(1));
-        b.record(ms(100));
-        b.record(ms(100));
+        let mut whole = LatencyHistogram::new();
+        for v in [1u64, 7, 100, 3_000] {
+            a.record(ms(v));
+            whole.record(ms(v));
+        }
+        for v in [2u64, 100, 50_000] {
+            b.record(ms(v));
+            whole.record(ms(v));
+        }
         a.merge(&b);
-        assert_eq!(a.len(), 3);
+        assert_eq!(a.len(), 7);
+        // Merge of shards is bit-identical to the concatenated histogram.
+        assert_eq!(a, whole);
     }
 
     #[test]
-    fn tiny_and_huge_samples_are_clamped() {
+    fn tiny_and_huge_samples_are_exact_at_the_extremes() {
         let mut h = LatencyHistogram::new();
         h.record(SimDuration::from_nanos(1));
         h.record(SimDuration::MAX);
         assert_eq!(h.len(), 2);
-        assert!(h.quantile(0.0).unwrap() <= SimDuration::from_micros(1));
-        assert!(h.quantile(1.0).unwrap() >= SimDuration::from_secs(1000));
+        // Sub-32ns values are lossless; the top clamps to the exact max.
+        assert_eq!(h.quantile(0.0).unwrap(), SimDuration::from_nanos(1));
+        assert_eq!(h.quantile(1.0).unwrap(), SimDuration::MAX);
     }
 
     #[test]
@@ -245,5 +227,13 @@ mod tests {
     fn quantile_validates() {
         let h = LatencyHistogram::new();
         let _ = h.quantile(2.0);
+    }
+
+    #[test]
+    fn sketch_accessors_expose_the_backing_sketch() {
+        let mut h = LatencyHistogram::new();
+        h.record(ms(5));
+        assert_eq!(h.sketch().count(), 1);
+        assert_eq!(h.into_sketch().max(), ms(5).as_nanos());
     }
 }

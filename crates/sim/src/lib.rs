@@ -54,3 +54,10 @@ pub use histogram::LatencyHistogram;
 pub use metrics::{CompletionRecord, ResponseStats, RunReport};
 pub use scheduler::{Dispatch, FcfsScheduler, Scheduler, ServiceClass};
 pub use server::{CapacityModulation, FixedRateServer, ModulatedServer, ServerId, ServiceModel};
+
+// Re-export the observability vocabulary so downstream crates can attach
+// traces and read sketches without naming gqos-obs directly.
+pub use gqos_obs::{
+    EventCounts, FileSink, LatencySketch, MemorySink, NullSink, PolicyTag, ReplayedRun, TraceEvent,
+    TraceHandle, TraceSink,
+};

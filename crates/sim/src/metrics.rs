@@ -120,6 +120,27 @@ impl RunReport {
         self.records.iter().filter(|r| r.class == class).count()
     }
 
+    /// A mergeable latency sketch over all response times, for combining
+    /// per-worker shards from parallel sweeps
+    /// (`merge` of per-run sketches is exact — see
+    /// [`gqos_obs::LatencySketch::merge`]).
+    pub fn response_sketch(&self) -> gqos_obs::LatencySketch {
+        let mut sketch = gqos_obs::LatencySketch::new();
+        for r in &self.records {
+            sketch.record(r.response_time().as_nanos());
+        }
+        sketch
+    }
+
+    /// A mergeable latency sketch over the response times of one class.
+    pub fn response_sketch_for(&self, class: ServiceClass) -> gqos_obs::LatencySketch {
+        let mut sketch = gqos_obs::LatencySketch::new();
+        for r in self.records.iter().filter(|r| r.class == class) {
+            sketch.record(r.response_time().as_nanos());
+        }
+        sketch
+    }
+
     /// Number of completed requests in `class` whose response time exceeded
     /// `deadline` — the degradation experiments' "Q1 miss" counter.
     pub fn miss_count(&self, class: ServiceClass, deadline: SimDuration) -> usize {

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use gqos_obs::{PolicyTag, TraceEvent, TraceHandle};
 use gqos_trace::{Request, SimTime};
 
 use crate::server::ServerId;
@@ -102,12 +103,22 @@ pub trait Scheduler {
 #[derive(Clone, Default, Debug)]
 pub struct FcfsScheduler {
     queue: VecDeque<Request>,
+    trace: TraceHandle,
 }
 
 impl FcfsScheduler {
     /// Creates an empty FCFS scheduler.
     pub fn new() -> Self {
         FcfsScheduler::default()
+    }
+
+    /// Creates an FCFS scheduler that emits `Dispatched` events (policy tag
+    /// `fcfs`) into `trace`.
+    pub fn with_trace(trace: TraceHandle) -> Self {
+        FcfsScheduler {
+            queue: VecDeque::new(),
+            trace,
+        }
     }
 }
 
@@ -116,9 +127,19 @@ impl Scheduler for FcfsScheduler {
         self.queue.push_back(request);
     }
 
-    fn next_for(&mut self, _server: ServerId, _now: SimTime) -> Dispatch {
+    fn next_for(&mut self, server: ServerId, now: SimTime) -> Dispatch {
         match self.queue.pop_front() {
-            Some(r) => Dispatch::Serve(r, ServiceClass::PRIMARY),
+            Some(r) => {
+                self.trace.emit_with(|| TraceEvent::Dispatched {
+                    at: now,
+                    id: r.id.index(),
+                    class: ServiceClass::PRIMARY.index(),
+                    server: server.index(),
+                    policy: PolicyTag::Fcfs,
+                    slack: None,
+                });
+                Dispatch::Serve(r, ServiceClass::PRIMARY)
+            }
             None => Dispatch::Idle,
         }
     }

@@ -89,3 +89,62 @@ fn different_seeds_change_the_workload_but_not_the_laws() {
         assert!(planner.fraction_guaranteed(c) >= 0.9, "seed {seed}");
     }
 }
+
+#[test]
+fn traced_runs_are_byte_identical_to_untraced_runs() {
+    // The golden observability contract: attaching a trace — the null fast
+    // path, the fully instrumented NullSink path, or a recording
+    // MemorySink — never changes a single completion record, for any
+    // policy. Sinks observe; they never steer.
+    use gqos::sim::{NullSink, TraceHandle};
+
+    let w = TraceProfile::OpenMail.generate(SPAN, 5);
+    let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.9, SimDuration::from_millis(10)));
+    for policy in RecombinePolicy::ALL {
+        let plain = shaper.run(&w, policy);
+        let nulled = shaper.run_traced(&w, policy, TraceHandle::null());
+        assert_eq!(
+            plain.records(),
+            nulled.records(),
+            "{policy}: null-traced run diverged"
+        );
+        assert_eq!(plain.end_time(), nulled.end_time(), "{policy}");
+
+        let instrumented = shaper.run_traced(&w, policy, TraceHandle::new(NullSink));
+        assert_eq!(
+            plain.records(),
+            instrumented.records(),
+            "{policy}: instrumented run diverged"
+        );
+
+        let (handle, sink) = TraceHandle::memory();
+        let recorded = shaper.run_traced(&w, policy, handle);
+        assert_eq!(
+            plain.records(),
+            recorded.records(),
+            "{policy}: memory-traced run diverged"
+        );
+        assert!(!sink.borrow().is_empty(), "{policy}: no events captured");
+    }
+}
+
+#[test]
+fn the_trace_itself_is_reproducible() {
+    // Two traced runs at one seed must capture identical event streams —
+    // the property that makes a JSONL trace a usable artifact.
+    use gqos::sim::TraceHandle;
+
+    let w = TraceProfile::WebSearch.generate(SPAN, 7);
+    let shaper = WorkloadShaper::plan(&w, QosTarget::new(0.9, SimDuration::from_millis(50)));
+    for policy in RecombinePolicy::ALL {
+        let (h1, s1) = TraceHandle::memory();
+        let _ = shaper.run_traced(&w, policy, h1);
+        let (h2, s2) = TraceHandle::memory();
+        let _ = shaper.run_traced(&w, policy, h2);
+        assert_eq!(
+            s1.borrow().to_jsonl(),
+            s2.borrow().to_jsonl(),
+            "{policy}: trace not reproducible"
+        );
+    }
+}
