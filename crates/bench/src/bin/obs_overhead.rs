@@ -55,10 +55,16 @@ fn best_of_interleaved<R>(
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<f64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1).unwrap_or_else(|| {
+        gqos_bench::exit_usage(&format!("{flag} requires a value"));
+    });
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 0.0 => Some(v),
+        _ => gqos_bench::exit_usage(&format!(
+            "{flag} value must be a non-negative number (got `{value}`)"
+        )),
+    }
 }
 
 fn pct(traced: f64, untraced: f64) -> f64 {

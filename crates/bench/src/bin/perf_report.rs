@@ -50,10 +50,16 @@ fn measure<R>(samples: usize, iters: usize, mut op: impl FnMut() -> R) -> f64 {
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1).unwrap_or_else(|| {
+        gqos_bench::exit_usage(&format!("{flag} requires a value"));
+    });
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            gqos_bench::exit_usage(&format!("{flag} value must be an integer (got `{value}`)"))
+        }
+    }
 }
 
 fn main() {

@@ -1,0 +1,51 @@
+//! Streaming-ingestion benchmark: equivalence, memory footprint, throughput.
+//!
+//! Prints the deterministic equivalence/gateway report of
+//! [`gqos_bench::experiments::stream`] to stdout (byte-diffable across
+//! serial and sharded runs) and writes `stream_equiv.csv` /
+//! `stream_gateway.csv`. Wall-clock throughput of the chunked online
+//! pipeline goes to *stderr only*, so redirected stdout stays
+//! deterministic.
+//!
+//! Usage: `cargo run --release -p gqos-bench --bin stream_bench --
+//!         [--span <s>] [--seed <n>] [--quick] [--out <dir>]
+//!         [--parallel | --threads <n>]`
+
+use std::time::Instant;
+
+use gqos_bench::experiments::stream;
+use gqos_bench::ExpConfig;
+use gqos_core::{CapacityPlanner, Provision, RecombinePolicy};
+use gqos_stream::{OnlineShaper, WorkloadStream, DEFAULT_CHUNK};
+use gqos_trace::gen::profiles::TraceProfile;
+use gqos_trace::SimDuration;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    stream::run(&cfg);
+
+    // Throughput is machine-dependent, so it goes to stderr: stdout must
+    // byte-diff clean between runs and worker counts.
+    let deadline = SimDuration::from_millis(stream::STREAM_DEADLINE_MS);
+    let workload = TraceProfile::OpenMail.generate(cfg.span, cfg.seed);
+    let planner = CapacityPlanner::new(&workload, deadline);
+    let provision =
+        Provision::with_default_surplus(planner.min_capacity(stream::STREAM_FRACTION), deadline);
+    let shaper = OnlineShaper::new(provision, deadline);
+    let requests = workload.len();
+    let start = Instant::now();
+    let streamed = shaper
+        .run(
+            &mut WorkloadStream::new(workload, DEFAULT_CHUNK),
+            RecombinePolicy::Split,
+        )
+        .expect("in-memory stream cannot fail");
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "throughput: {requests} requests in {elapsed:.3}s ({:.0} req/s), \
+         {} chunks of <= {DEFAULT_CHUNK}, peak {:.1} KiB buffered",
+        requests as f64 / elapsed.max(1e-9),
+        streamed.chunks,
+        streamed.peak_chunk_bytes as f64 / 1024.0
+    );
+}

@@ -1,9 +1,66 @@
 //! Command-line configuration shared by every experiment binary.
 
+use std::error::Error;
 use std::fmt;
 
 use gqos_parallel::WorkerPool;
 use gqos_trace::SimDuration;
+
+/// The usage line printed under every CLI error.
+pub const USAGE: &str =
+    "usage: [--span <s>] [--seed <n>] [--quick] [--out <dir>] [--parallel] [--threads <n>]";
+
+/// A malformed command line, reported instead of a panic so binaries can
+/// exit with a clear diagnostic.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum ConfigError {
+    /// A flag that takes a value was the last argument.
+    MissingValue {
+        /// The flag missing its value.
+        flag: &'static str,
+        /// What the value should have been.
+        expected: &'static str,
+    },
+    /// A flag's value failed to parse.
+    InvalidValue {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+        /// What the value should have been.
+        expected: &'static str,
+    },
+    /// `--threads 0` — zero workers cannot run anything; ask for 1 (serial)
+    /// or more.
+    ZeroThreads,
+    /// An unrecognised flag.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingValue { flag, expected } => {
+                write!(f, "{flag} requires {expected}")
+            }
+            ConfigError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} value must be {expected} (got `{value}`)"),
+            ConfigError::ZeroThreads => {
+                f.write_str("--threads value must be at least 1 (use 1 for a serial run)")
+            }
+            ConfigError::UnknownFlag(flag) => write!(
+                f,
+                "unknown flag `{flag}`; supported: --span <s>, --seed <n>, --quick, \
+                 --out <dir>, --parallel, --threads <n>"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Configuration parsed from an experiment binary's arguments.
 ///
@@ -47,68 +104,116 @@ impl ExpConfig {
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on unknown or malformed flags.
+    /// Panics with a usage message on unknown or malformed flags; use
+    /// [`try_parse`](ExpConfig::try_parse) for a typed error instead
+    /// (binaries go through [`from_env`](ExpConfig::from_env), which exits
+    /// cleanly).
     pub fn parse<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
+        ExpConfig::try_parse(args).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Parses configuration from an argument iterator, reporting malformed
+    /// input as a typed [`ConfigError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown flags, flags missing their value,
+    /// unparsable values, and `--threads 0`.
+    pub fn try_parse<I, S>(args: I) -> Result<Self, ConfigError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        fn value<S: AsRef<str>>(
+            it: &mut impl Iterator<Item = S>,
+            flag: &'static str,
+            expected: &'static str,
+        ) -> Result<String, ConfigError> {
+            match it.next() {
+                Some(v) => Ok(v.as_ref().to_string()),
+                None => Err(ConfigError::MissingValue { flag, expected }),
+            }
+        }
+        fn integer(
+            raw: &str,
+            flag: &'static str,
+            expected: &'static str,
+        ) -> Result<u64, ConfigError> {
+            raw.parse().map_err(|_| ConfigError::InvalidValue {
+                flag,
+                value: raw.to_string(),
+                expected,
+            })
+        }
         let mut cfg = ExpConfig::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_ref() {
                 "--span" => {
-                    let v = it
-                        .next()
-                        .expect("--span requires a value in seconds")
-                        .as_ref()
-                        .parse::<u64>()
-                        .expect("--span value must be an integer number of seconds");
-                    cfg.span = SimDuration::from_secs(v);
+                    let raw = value(&mut it, "--span", "a value in seconds")?;
+                    cfg.span = SimDuration::from_secs(integer(
+                        &raw,
+                        "--span",
+                        "an integer number of seconds",
+                    )?);
                 }
                 "--seed" => {
-                    cfg.seed = it
-                        .next()
-                        .expect("--seed requires a value")
-                        .as_ref()
-                        .parse()
-                        .expect("--seed value must be an integer");
+                    let raw = value(&mut it, "--seed", "a value")?;
+                    cfg.seed = integer(&raw, "--seed", "an integer")?;
                 }
                 "--quick" => cfg.span = SimDuration::from_secs(120),
                 "--out" => {
-                    cfg.out_dir = it
-                        .next()
-                        .expect("--out requires a directory")
-                        .as_ref()
-                        .to_string();
+                    cfg.out_dir = value(&mut it, "--out", "a directory")?;
                 }
                 "--parallel" => cfg.threads = WorkerPool::from_env().threads(),
                 "--threads" => {
-                    cfg.threads = it
-                        .next()
-                        .expect("--threads requires a value")
-                        .as_ref()
-                        .parse()
-                        .expect("--threads value must be an integer");
+                    let raw = value(&mut it, "--threads", "a value")?;
+                    let threads = integer(&raw, "--threads", "a positive integer worker count")?;
+                    if threads == 0 {
+                        return Err(ConfigError::ZeroThreads);
+                    }
+                    cfg.threads = threads as usize;
                 }
-                other => panic!(
-                    "unknown flag `{other}`; supported: --span <s>, --seed <n>, --quick, \
-                     --out <dir>, --parallel, --threads <n>"
-                ),
+                other => return Err(ConfigError::UnknownFlag(other.to_string())),
             }
         }
-        cfg
+        Ok(cfg)
     }
 
-    /// Parses configuration from the process arguments.
+    /// Parses configuration from the process arguments, verifying that the
+    /// output directory is usable. On any problem it prints
+    /// `error: <what>` plus the usage line to stderr and exits with status
+    /// 2 — experiment binaries never panic on a malformed command line.
     pub fn from_env() -> Self {
-        ExpConfig::parse(std::env::args().skip(1))
+        let cfg = ExpConfig::try_parse(std::env::args().skip(1)).unwrap_or_else(|err| {
+            exit_usage(&err.to_string());
+        });
+        if let Err(err) = std::fs::create_dir_all(&cfg.out_dir) {
+            exit_usage(&format!(
+                "cannot create output directory `{}`: {err}",
+                cfg.out_dir
+            ));
+        }
+        cfg
     }
 
     /// The worker pool experiments fan their cells over.
     pub fn pool(&self) -> WorkerPool {
         WorkerPool::new(self.threads)
     }
+}
+
+/// Prints `error: <message>` and the usage line to stderr, then exits with
+/// status 2 (the conventional usage-error code). Shared by every
+/// experiment binary so malformed command lines never surface as panics.
+pub fn exit_usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
 }
 
 impl fmt::Display for ExpConfig {
@@ -175,5 +280,70 @@ mod tests {
     #[test]
     fn display() {
         assert!(ExpConfig::default().to_string().contains("seed=42"));
+    }
+
+    #[test]
+    fn try_parse_reports_typed_errors() {
+        assert_eq!(
+            ExpConfig::try_parse(["--bogus"]),
+            Err(ConfigError::UnknownFlag("--bogus".to_string()))
+        );
+        assert_eq!(
+            ExpConfig::try_parse(["--span"]),
+            Err(ConfigError::MissingValue {
+                flag: "--span",
+                expected: "a value in seconds"
+            })
+        );
+        assert!(matches!(
+            ExpConfig::try_parse(["--span", "abc"]),
+            Err(ConfigError::InvalidValue { flag: "--span", .. })
+        ));
+        assert!(matches!(
+            ExpConfig::try_parse(["--seed", "12.5"]),
+            Err(ConfigError::InvalidValue { flag: "--seed", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_and_negative_threads_are_rejected() {
+        assert_eq!(
+            ExpConfig::try_parse(["--threads", "0"]),
+            Err(ConfigError::ZeroThreads)
+        );
+        // A negative count is a parse failure (the count is unsigned), not
+        // a silent wrap to a huge pool.
+        assert!(matches!(
+            ExpConfig::try_parse(["--threads", "-3"]),
+            Err(ConfigError::InvalidValue {
+                flag: "--threads",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_flag_and_input() {
+        let err = ExpConfig::try_parse(["--threads", "lots"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--threads"), "{msg}");
+        assert!(msg.contains("`lots`"), "{msg}");
+        assert!(ConfigError::ZeroThreads.to_string().contains("at least 1"));
+        assert!(USAGE.contains("--threads"));
+    }
+
+    #[test]
+    fn try_parse_accepts_everything_parse_accepts() {
+        let args = [
+            "--span",
+            "300",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "2",
+        ];
+        assert_eq!(ExpConfig::try_parse(args).unwrap(), ExpConfig::parse(args));
     }
 }

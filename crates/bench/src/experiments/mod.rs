@@ -11,4 +11,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod run_report;
+pub mod stream;
 pub mod table1;

@@ -15,5 +15,5 @@ pub mod experiments;
 pub mod output;
 pub mod paper;
 
-pub use config::ExpConfig;
+pub use config::{exit_usage, ConfigError, ExpConfig, USAGE};
 pub use output::{CsvWriter, Table};

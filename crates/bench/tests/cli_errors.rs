@@ -1,0 +1,148 @@
+//! Every experiment binary must reject a malformed command line with a
+//! clear `error: …` diagnostic and exit status 2 — never a panic, never a
+//! backtrace, never silent misbehavior.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+/// Path of every experiment binary that parses the shared `ExpConfig`
+/// flags, as compiled for this test run.
+const EXP_CONFIG_BINS: &[(&str, &str)] = &[
+    ("ablation_delta_c", env!("CARGO_BIN_EXE_ablation_delta_c")),
+    (
+        "ablation_token_bucket",
+        env!("CARGO_BIN_EXE_ablation_token_bucket"),
+    ),
+    ("all_experiments", env!("CARGO_BIN_EXE_all_experiments")),
+    ("disk_endtoend", env!("CARGO_BIN_EXE_disk_endtoend")),
+    ("fault_sweep", env!("CARGO_BIN_EXE_fault_sweep")),
+    ("fig2_shaping", env!("CARGO_BIN_EXE_fig2_shaping")),
+    ("fig3_scl", env!("CARGO_BIN_EXE_fig3_scl")),
+    ("fig4_fcfs_cdf", env!("CARGO_BIN_EXE_fig4_fcfs_cdf")),
+    ("fig5_fcfs_cdf", env!("CARGO_BIN_EXE_fig5_fcfs_cdf")),
+    ("fig6_schedulers", env!("CARGO_BIN_EXE_fig6_schedulers")),
+    ("fig7_same_mux", env!("CARGO_BIN_EXE_fig7_same_mux")),
+    ("fig8_diff_mux", env!("CARGO_BIN_EXE_fig8_diff_mux")),
+    (
+        "multitenant_isolation",
+        env!("CARGO_BIN_EXE_multitenant_isolation"),
+    ),
+    ("run_report", env!("CARGO_BIN_EXE_run_report")),
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("stream_bench", env!("CARGO_BIN_EXE_stream_bench")),
+];
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"))
+}
+
+fn assert_clean_usage_error(name: &str, args: &[&str], output: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "{name} {args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+        output.status.code()
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{name} {args:?}: stderr lacks `error:`\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{name} {args:?}: stderr lacks `{needle}`\nstderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{name} {args:?}: panicked instead of exiting cleanly\nstderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_clean_error_in_every_binary() {
+    for &(name, bin) in EXP_CONFIG_BINS {
+        let output = run(bin, &["--bogus"]);
+        assert_clean_usage_error(name, &["--bogus"], &output, "unknown flag");
+    }
+}
+
+#[test]
+fn malformed_values_are_clean_errors() {
+    // One representative binary per failure class; the parser is shared.
+    let (_, bin) = EXP_CONFIG_BINS[0];
+    let cases: &[(&[&str], &str)] = &[
+        (&["--span", "abc"], "--span value"),
+        (&["--span"], "--span requires"),
+        (&["--seed", "1.5"], "--seed value"),
+        (&["--threads", "0"], "at least 1"),
+        (&["--threads", "-3"], "--threads value"),
+        (&["--threads", "many"], "--threads value"),
+    ];
+    for &(args, needle) in cases {
+        let output = run(bin, args);
+        assert_clean_usage_error("ablation_delta_c", args, &output, needle);
+    }
+}
+
+#[test]
+fn unusable_out_dir_is_a_clean_error() {
+    // Point --out below a regular file: the directory cannot be created.
+    let dir = std::env::temp_dir().join(format!("gqos-cli-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, b"occupied").expect("temp file");
+    let out = file.join("results");
+    let out = out.to_str().expect("utf-8 temp path");
+    let (_, bin) = EXP_CONFIG_BINS[0];
+    let output = run(bin, &["--quick", "--out", out]);
+    assert_clean_usage_error(
+        "ablation_delta_c",
+        &["--quick", "--out", "<file>/results"],
+        &output,
+        "output directory",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn custom_parsers_reject_garbage_cleanly() {
+    // perf_report and obs_overhead parse their own flags; they must meet
+    // the same contract as the shared parser.
+    for (name, bin, args) in [
+        (
+            "perf_report",
+            env!("CARGO_BIN_EXE_perf_report"),
+            ["--samples", "abc"],
+        ),
+        (
+            "obs_overhead",
+            env!("CARGO_BIN_EXE_obs_overhead"),
+            ["--samples", "-4"],
+        ),
+    ] {
+        let output = run(bin, &args);
+        assert_clean_usage_error(name, &args, &output, "--samples");
+    }
+}
+
+#[test]
+fn well_formed_quick_run_still_works() {
+    // The hardening must not break the happy path: a quick serial run of
+    // the cheapest binary exits 0 and writes its CSV.
+    let dir = std::env::temp_dir().join(format!("gqos-cli-ok-{}", std::process::id()));
+    let out = dir.to_str().expect("utf-8 temp path");
+    let output = run(
+        env!("CARGO_BIN_EXE_fig3_scl"),
+        &["--quick", "--out", out, "--threads", "1"],
+    );
+    assert!(
+        output.status.success(),
+        "fig3_scl --quick failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(Path::new(out).exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

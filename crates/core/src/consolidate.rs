@@ -8,6 +8,7 @@
 //! removed the high-variance portions whose alignment is unpredictable.
 //! Figures 7 and 8 are built from the comparisons computed here.
 
+use std::error::Error;
 use std::fmt;
 
 use gqos_trace::{Iops, SimDuration, Workload};
@@ -15,8 +16,36 @@ use gqos_trace::{Iops, SimDuration, Workload};
 use crate::planner::CapacityPlanner;
 use crate::target::QosTarget;
 
+/// A consolidation comparison was requested over an impossible input.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum ConsolidationError {
+    /// The client list was empty: neither an additive estimate nor a
+    /// merged requirement exists over zero clients.
+    NoClients,
+}
+
+impl fmt::Display for ConsolidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsolidationError::NoClients => {
+                f.write_str("consolidation requires at least one client workload")
+            }
+        }
+    }
+}
+
+impl Error for ConsolidationError {}
+
 /// The estimate-versus-actual capacity comparison for one set of
 /// consolidated clients at one QoS target.
+///
+/// Both sides are [`Iops`], which is strictly positive and finite by
+/// construction — there is no way to build a report whose
+/// [`ratio`](ConsolidationReport::ratio) or
+/// [`relative_error`](ConsolidationReport::relative_error) divides by
+/// zero. The division-hazard lives one level up, in inputs the planner
+/// cannot price (an empty client list); [`ConsolidationStudy::try_compare`]
+/// surfaces those as a typed [`ConsolidationError`] instead of a panic.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct ConsolidationReport {
     /// Sum of the clients' individual `Cmin` values (the additive
@@ -29,11 +58,22 @@ pub struct ConsolidationReport {
 impl ConsolidationReport {
     /// `actual / estimate`: below 1.0 means the additive estimate
     /// over-provisions (multiplexing gain), near 1.0 means it is accurate.
+    ///
+    /// Never NaN and never zero: both operands are [`Iops`], whose
+    /// constructor rejects zero, negatives, and non-finite rates. The one
+    /// documented sentinel is `+∞`, reachable only when the two rates
+    /// differ by more than `f64`'s ~308 orders of magnitude — far outside
+    /// any plannable capacity, but pinned by a regression test rather than
+    /// left as an accidental outcome.
     pub fn ratio(&self) -> f64 {
         self.actual.get() / self.estimate.get()
     }
 
     /// Relative error `|actual − estimate| / actual`.
+    ///
+    /// Never NaN and never negative, by the same [`Iops`] invariant (and
+    /// the same `+∞`-on-astronomical-mismatch sentinel) as
+    /// [`ratio`](ConsolidationReport::ratio).
     pub fn relative_error(&self) -> f64 {
         (self.actual.get() - self.estimate.get()).abs() / self.actual.get()
     }
@@ -83,8 +123,26 @@ impl ConsolidationStudy {
     }
 
     /// The additive estimate: sum of each client's individual `Cmin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty; use
+    /// [`try_estimate`](ConsolidationStudy::try_estimate) for a typed
+    /// error instead.
     pub fn estimate(&self, clients: &[&Workload]) -> Iops {
-        assert!(!clients.is_empty(), "at least one client is required");
+        self.try_estimate(clients)
+            .expect("at least one client is required")
+    }
+
+    /// Fallible form of [`estimate`](ConsolidationStudy::estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsolidationError::NoClients`] for an empty client list.
+    pub fn try_estimate(&self, clients: &[&Workload]) -> Result<Iops, ConsolidationError> {
+        if clients.is_empty() {
+            return Err(ConsolidationError::NoClients);
+        }
         let total: f64 = clients
             .iter()
             .map(|w| {
@@ -93,22 +151,60 @@ impl ConsolidationStudy {
                     .get()
             })
             .sum();
-        Iops::new(total)
+        Ok(Iops::new(total))
     }
 
     /// The true requirement: `Cmin` of the merged arrival stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty; use
+    /// [`try_actual`](ConsolidationStudy::try_actual) for a typed error
+    /// instead.
     pub fn actual(&self, clients: &[&Workload]) -> Iops {
-        assert!(!clients.is_empty(), "at least one client is required");
+        self.try_actual(clients)
+            .expect("at least one client is required")
+    }
+
+    /// Fallible form of [`actual`](ConsolidationStudy::actual).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsolidationError::NoClients`] for an empty client list.
+    pub fn try_actual(&self, clients: &[&Workload]) -> Result<Iops, ConsolidationError> {
+        if clients.is_empty() {
+            return Err(ConsolidationError::NoClients);
+        }
         let merged = merge_all(clients);
-        CapacityPlanner::new(&merged, self.target.deadline()).min_capacity(self.target.fraction())
+        Ok(CapacityPlanner::new(&merged, self.target.deadline())
+            .min_capacity(self.target.fraction()))
     }
 
     /// Computes both sides of the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty; use
+    /// [`try_compare`](ConsolidationStudy::try_compare) for a typed error
+    /// instead.
     pub fn compare(&self, clients: &[&Workload]) -> ConsolidationReport {
-        ConsolidationReport {
-            estimate: self.estimate(clients),
-            actual: self.actual(clients),
-        }
+        self.try_compare(clients)
+            .expect("at least one client is required")
+    }
+
+    /// Fallible form of [`compare`](ConsolidationStudy::compare).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsolidationError::NoClients`] for an empty client list.
+    pub fn try_compare(
+        &self,
+        clients: &[&Workload],
+    ) -> Result<ConsolidationReport, ConsolidationError> {
+        Ok(ConsolidationReport {
+            estimate: self.try_estimate(clients)?,
+            actual: self.try_actual(clients)?,
+        })
     }
 
     /// Compares a client against a time-shifted copy of itself — the
@@ -227,6 +323,68 @@ mod tests {
     fn estimate_requires_clients() {
         let study = ConsolidationStudy::new(QosTarget::new(1.0, dms(10)));
         let _ = study.estimate(&[]);
+    }
+
+    #[test]
+    fn empty_client_list_is_a_typed_error() {
+        let study = ConsolidationStudy::new(QosTarget::new(1.0, dms(10)));
+        assert_eq!(study.try_estimate(&[]), Err(ConsolidationError::NoClients));
+        assert_eq!(study.try_actual(&[]), Err(ConsolidationError::NoClients));
+        assert_eq!(study.try_compare(&[]), Err(ConsolidationError::NoClients));
+        let err = study.try_compare(&[]).unwrap_err();
+        assert!(err.to_string().contains("at least one client"));
+    }
+
+    #[test]
+    fn empty_client_workloads_compare_without_dividing_by_zero() {
+        // Clients with zero arrivals are priced at the floor capacity, not
+        // zero, so the report's divisions stay finite.
+        let empty = Workload::new();
+        let study = ConsolidationStudy::new(QosTarget::new(0.9, dms(10)));
+        let report = study
+            .try_compare(&[&empty, &empty])
+            .expect("empty workloads are still one-client-each");
+        assert!(report.ratio().is_finite());
+        assert!(report.ratio() > 0.0);
+        assert!(report.relative_error().is_finite());
+        assert!(report.relative_error() >= 0.0);
+    }
+
+    #[test]
+    fn ratio_and_relative_error_are_never_nan_at_extreme_rates() {
+        // The Iops invariant (finite, strictly positive) rules out NaN and
+        // zero for any report; plannable magnitudes stay finite.
+        for (estimate, actual) in [(1e-9, 1e-9), (1.0, 1e18), (1e18, 1.0)] {
+            let report = ConsolidationReport {
+                estimate: Iops::new(estimate),
+                actual: Iops::new(actual),
+            };
+            assert!(report.ratio().is_finite(), "ratio({estimate}, {actual})");
+            assert!(report.ratio() > 0.0);
+            assert!(
+                report.relative_error().is_finite(),
+                "relative_error({estimate}, {actual})"
+            );
+        }
+        // The documented sentinel: a mismatch beyond f64's dynamic range
+        // overflows to +∞ — never NaN, never a negative, never a panic.
+        let sentinel = ConsolidationReport {
+            estimate: Iops::new(f64::MIN_POSITIVE),
+            actual: Iops::new(1e18),
+        };
+        assert_eq!(sentinel.ratio(), f64::INFINITY);
+        assert!(!sentinel.ratio().is_nan());
+        assert!(!sentinel.relative_error().is_nan());
+        assert!(sentinel.relative_error() >= 0.0);
+    }
+
+    #[test]
+    fn fallible_and_panicking_paths_agree() {
+        let w = Workload::from_arrivals(vec![SimTime::ZERO; 10]);
+        let study = ConsolidationStudy::new(QosTarget::new(1.0, dms(10)));
+        let fallible = study.try_compare(&[&w, &w]).unwrap();
+        let panicking = study.compare(&[&w, &w]);
+        assert_eq!(fallible, panicking);
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod tenant;
 
 pub use admission::{Admission, AdmissionController, AdmissionError};
 pub use cascade::{CascadeDecomposer, CascadeDecomposition, CascadeLevel};
-pub use consolidate::{merge_all, ConsolidationReport, ConsolidationStudy};
+pub use consolidate::{merge_all, ConsolidationError, ConsolidationReport, ConsolidationStudy};
 pub use degrade::{
     AdaptiveScheduler, AdmissionLog, AdmissionRecord, CapacityAdaptive, DegradationController,
     DegradationPolicy,

@@ -156,12 +156,17 @@ impl LatencySketch {
     ///
     /// Returns the containing bucket's upper bound, clamped to the exact
     /// tracked maximum, so the result `q̂` versus the exact quantile `q`
-    /// satisfies `q ≤ q̂ ≤ q · (1 + RELATIVE_ERROR_BOUND)`. Returns 0 for an
-    /// empty sketch.
+    /// satisfies `q ≤ q̂ ≤ q · (1 + RELATIVE_ERROR_BOUND)`. The extremes are
+    /// *exact*, not bucket bounds: `quantile(0.0)` equals [`min`]
+    /// (`LatencySketch::min`) and `quantile(1.0)` equals [`max`]
+    /// (`LatencySketch::max`), bit for bit. Returns 0 for an empty sketch —
+    /// the same value empty [`min`](LatencySketch::min) and
+    /// [`max`](LatencySketch::max) report (`gqos_sim::LatencyHistogram`
+    /// wraps this in `Option` instead; both agree wherever a value exists).
     ///
     /// # Panics
     ///
-    /// Panics if `q` is not in `[0, 1]`.
+    /// Panics if `q` is not in `[0, 1]` (even on an empty sketch).
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.is_empty() {
@@ -171,6 +176,11 @@ impl LatencySketch {
         // at or below it (rank clamped to [1, n]) — the same convention as
         // the exact sorted-vector oracle in gqos-sim::metrics.
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if rank == 1 {
+            // The rank-1 statistic is the minimum, which is tracked exactly;
+            // reporting its bucket's upper bound would overestimate it.
+            return self.min;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -372,6 +382,34 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_rejects_out_of_range() {
         LatencySketch::new().quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_zero_is_exactly_min() {
+        // 100's bucket caps at 101, so bucket-bound reporting would return
+        // 101 for q=0 while min() said 100 — the extremes must be exact.
+        let mut s = LatencySketch::new();
+        s.record(100);
+        s.record(1_000);
+        assert_eq!(s.min(), 100);
+        assert_eq!(s.quantile(0.0), s.min());
+        assert_eq!(s.quantile(1.0), s.max());
+        // Tiny q that still ranks 1 behaves like q=0.
+        assert_eq!(s.quantile(0.1), 100);
+    }
+
+    #[test]
+    fn empty_sketch_contract() {
+        // Empty: count 0, min/max/quantile all report 0, mean 0.0, and
+        // quantile still validates its argument.
+        let s = LatencySketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 0);
+        }
+        assert!(s.nonzero_buckets().is_empty());
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The discrete-event simulation driver.
 
-use gqos_obs::{TraceEvent, TraceHandle};
-use gqos_trace::{Request, SimDuration, SimTime, Workload};
+use gqos_obs::TraceHandle;
+use gqos_trace::{SimDuration, Workload};
 
-use crate::event::{Event, EventKind, IndexedEventQueue};
 use crate::metrics::{CompletionRecord, RunReport};
-use crate::scheduler::{Dispatch, Scheduler, ServiceClass};
-use crate::server::{ServerId, ServiceModel};
+use crate::scheduler::Scheduler;
+use crate::server::ServiceModel;
+use crate::streaming::StreamingSimulation;
 
 /// A configured simulation: one workload, one scheduler, one or more
 /// servers.
@@ -114,143 +114,33 @@ impl<'w, S: Scheduler> Simulation<'w, S> {
     /// }
     /// ```
     ///
+    /// The batch run is implemented on top of
+    /// [`StreamingSimulation`](crate::StreamingSimulation) — offering every
+    /// request of the workload in order — so batch and streamed runs of the
+    /// same workload are bit-identical by construction.
+    ///
     /// # Panics
     ///
     /// Panics if no server was added, or if the scheduler requests a retry
     /// at a non-future instant.
-    pub fn run_with_buffer(mut self, mut records: Vec<CompletionRecord>) -> RunReport {
+    pub fn run_with_buffer(self, mut records: Vec<CompletionRecord>) -> RunReport {
         assert!(
             !self.servers.is_empty(),
             "simulation needs at least one server"
         );
-
-        let requests = self.workload.requests();
-        let total = requests.len();
         records.clear();
-        records.reserve(total);
-        let mut queue = IndexedEventQueue::new(self.servers.len());
-        // (request, class, dispatch time) in flight per server.
-        let mut in_flight: Vec<Option<(Request, ServiceClass, SimTime)>> =
-            (0..self.servers.len()).map(|_| None).collect();
-        let mut end_time = SimTime::ZERO;
-
-        if !requests.is_empty() {
-            queue.push(Event {
-                at: requests[0].arrival,
-                kind: EventKind::Arrival { index: 0 },
-            });
+        records.reserve(self.workload.len());
+        let mut streaming = StreamingSimulation::from_parts(
+            self.scheduler,
+            self.servers,
+            self.trace,
+            self.deadline,
+            records,
+        );
+        for &request in self.workload.requests() {
+            streaming.offer(request);
         }
-
-        while let Some(Event { at: now, kind }) = queue.pop() {
-            end_time = end_time.max(now);
-            match kind {
-                EventKind::Arrival { index } => {
-                    self.trace.emit_with(|| TraceEvent::Arrival {
-                        at: now,
-                        id: requests[index].id.index(),
-                    });
-                    self.scheduler.on_arrival(requests[index], now);
-                    if index + 1 < total {
-                        queue.push(Event {
-                            at: requests[index + 1].arrival,
-                            kind: EventKind::Arrival { index: index + 1 },
-                        });
-                    }
-                    for server in 0..self.servers.len() {
-                        if in_flight[server].is_none() {
-                            Self::poll_server(
-                                &mut self.scheduler,
-                                &mut self.servers,
-                                &mut in_flight,
-                                &mut queue,
-                                server,
-                                now,
-                            );
-                        }
-                    }
-                }
-                EventKind::Completion { server } => {
-                    let (request, class, dispatched) = in_flight[server]
-                        .take()
-                        .expect("completion event for idle server");
-                    records.push(CompletionRecord {
-                        id: request.id,
-                        class,
-                        arrival: request.arrival,
-                        dispatched,
-                        completion: now,
-                    });
-                    self.trace.emit_with(|| {
-                        let response = now - request.arrival;
-                        TraceEvent::Completed {
-                            at: now,
-                            id: request.id.index(),
-                            class: class.index(),
-                            response,
-                            deadline_met: self.deadline.map(|d| response <= d),
-                        }
-                    });
-                    self.scheduler.on_completion(&request, class, now);
-                    Self::poll_server(
-                        &mut self.scheduler,
-                        &mut self.servers,
-                        &mut in_flight,
-                        &mut queue,
-                        server,
-                        now,
-                    );
-                }
-                EventKind::Retry { server } => {
-                    if in_flight[server].is_none() {
-                        Self::poll_server(
-                            &mut self.scheduler,
-                            &mut self.servers,
-                            &mut in_flight,
-                            &mut queue,
-                            server,
-                            now,
-                        );
-                    }
-                }
-            }
-        }
-
-        RunReport::new(records, total, end_time)
-    }
-
-    fn poll_server(
-        scheduler: &mut S,
-        servers: &mut [Box<dyn ServiceModel>],
-        in_flight: &mut [Option<(Request, ServiceClass, SimTime)>],
-        queue: &mut IndexedEventQueue,
-        server: usize,
-        now: SimTime,
-    ) {
-        debug_assert!(in_flight[server].is_none());
-        match scheduler.next_for(ServerId::new(server), now) {
-            Dispatch::Serve(request, class) => {
-                let service = servers[server].service_time(&request, now);
-                // Zero-length service still advances the clock by one tick so
-                // progress is guaranteed.
-                let service = service.max(SimDuration::from_nanos(1));
-                in_flight[server] = Some((request, class, now));
-                queue.push(Event {
-                    at: now + service,
-                    kind: EventKind::Completion { server },
-                });
-            }
-            Dispatch::After(when) => {
-                assert!(
-                    when > now,
-                    "scheduler requested retry at {when} which is not after {now}"
-                );
-                queue.push(Event {
-                    at: when,
-                    kind: EventKind::Retry { server },
-                });
-            }
-            Dispatch::Idle => {}
-        }
+        streaming.into_report()
     }
 }
 
@@ -279,9 +169,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::FcfsScheduler;
-    use crate::server::FixedRateServer;
-    use gqos_trace::Iops;
+    use crate::scheduler::{Dispatch, FcfsScheduler, ServiceClass};
+    use crate::server::{FixedRateServer, ServerId};
+    use gqos_trace::{Iops, Request, SimTime};
 
     fn ms(v: u64) -> SimTime {
         SimTime::from_millis(v)

@@ -230,6 +230,25 @@ mod tests {
     }
 
     #[test]
+    fn quantile_extremes_match_the_sketch_exactly() {
+        // q=0 must report the exact minimum, not its bucket's upper bound
+        // (100 ns buckets to a cap of 101 ns), and must agree with the
+        // backing sketch's own min()/max() — the two views of one run can
+        // never disagree about the extremes.
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(1_000));
+        assert_eq!(h.quantile(0.0).unwrap().as_nanos(), h.sketch().min());
+        assert_eq!(h.quantile(0.0).unwrap(), SimDuration::from_nanos(100));
+        assert_eq!(h.quantile(1.0).unwrap().as_nanos(), h.sketch().max());
+        // Empty contract stays split by design: the histogram says None,
+        // the sketch says 0.
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.sketch().quantile(0.0), 0);
+    }
+
+    #[test]
     fn sketch_accessors_expose_the_backing_sketch() {
         let mut h = LatencyHistogram::new();
         h.record(ms(5));

@@ -46,6 +46,7 @@ mod histogram;
 mod metrics;
 mod scheduler;
 mod server;
+mod streaming;
 
 pub use closed::{closed_loop, ClosedLoopConfig};
 pub use engine::{simulate, Simulation};
@@ -54,6 +55,7 @@ pub use histogram::LatencyHistogram;
 pub use metrics::{CompletionRecord, ResponseStats, RunReport};
 pub use scheduler::{Dispatch, FcfsScheduler, Scheduler, ServiceClass};
 pub use server::{CapacityModulation, FixedRateServer, ModulatedServer, ServerId, ServiceModel};
+pub use streaming::StreamingSimulation;
 
 // Re-export the observability vocabulary so downstream crates can attach
 // traces and read sketches without naming gqos-obs directly.

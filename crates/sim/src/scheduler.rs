@@ -86,6 +86,26 @@ pub trait Scheduler {
     fn pending(&self) -> usize;
 }
 
+// Boxed schedulers forward, so policy choices can be made at runtime (the
+// streaming ingestion layer picks a recombination policy per tenant).
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn on_arrival(&mut self, request: Request, now: SimTime) {
+        (**self).on_arrival(request, now);
+    }
+
+    fn next_for(&mut self, server: ServerId, now: SimTime) -> Dispatch {
+        (**self).next_for(server, now)
+    }
+
+    fn on_completion(&mut self, request: &Request, class: ServiceClass, now: SimTime) {
+        (**self).on_completion(request, class, now);
+    }
+
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+}
+
 /// Plain FCFS over a single queue — the paper's unshaped baseline: no
 /// decomposition, every request in one class, served in arrival order.
 ///

@@ -72,11 +72,77 @@ impl From<io::Error> for ParseSpcError {
     }
 }
 
+/// An incremental SPC record reader: an iterator yielding one parsed
+/// [`Request`] per trace record, without materialising the whole file.
+///
+/// This is the streaming counterpart of [`read_trace`] (which is built on
+/// it): blank lines and `#` comments are skipped, and each record goes
+/// through the same hardened [`parse_record`] path, so the two agree on
+/// every accept/reject decision. Requests are yielded in **file order**
+/// with default ids; callers that need a sorted, densely-identified stream
+/// (the contract of a `Workload`) must sort and assign ids themselves —
+/// `read_trace` does so globally, the chunked `gqos-stream` adapter per
+/// chunk.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_trace::spc::Records;
+///
+/// let trace = "# header\n0,47126,8192,R,0.011413\n0,47134,8192,W,0.024\n";
+/// let mut records = Records::new(trace.as_bytes());
+/// assert!(records.next().unwrap().is_ok());
+/// assert!(records.next().unwrap().is_ok());
+/// assert!(records.next().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Records<R: Read> {
+    lines: io::Lines<BufReader<R>>,
+    line_no: usize,
+}
+
+impl<R: Read> Records<R> {
+    /// Creates a reader over `reader`. A `&mut` reference may be passed.
+    pub fn new(reader: R) -> Self {
+        Records {
+            lines: BufReader::new(reader).lines(),
+            line_no: 0,
+        }
+    }
+
+    /// The 1-based line number of the most recently yielded record (0
+    /// before the first), for error reporting by callers.
+    pub fn line_number(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl<R: Read> Iterator for Records<R> {
+    type Item = Result<Request, ParseSpcError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(ParseSpcError::Io(e))),
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(parse_record(trimmed, self.line_no));
+        }
+    }
+}
+
 /// Reads an SPC-format trace into a [`Workload`].
 ///
 /// A `&mut` reference may be passed for `reader`. Blank lines and lines
 /// beginning with `#` are skipped. Records with more than five fields keep
 /// only the first five (some repository variants append extras).
+/// Out-of-order timestamps are sorted globally; for a bounded-memory
+/// incremental read, use [`Records`] directly.
 ///
 /// # Errors
 ///
@@ -93,17 +159,7 @@ impl From<io::Error> for ParseSpcError {
 /// # Ok::<(), gqos_trace::spc::ParseSpcError>(())
 /// ```
 pub fn read_trace<R: Read>(reader: R) -> Result<Workload, ParseSpcError> {
-    let buf = BufReader::new(reader);
-    let mut requests = Vec::new();
-    for (idx, line) in buf.lines().enumerate() {
-        let line = line?;
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        requests.push(parse_record(trimmed, line_no)?);
-    }
+    let requests = Records::new(reader).collect::<Result<Vec<_>, _>>()?;
     Ok(Workload::from_requests(requests))
 }
 
@@ -308,6 +364,37 @@ mod tests {
         write_trace(&original, &mut bytes).unwrap();
         let reparsed = read_trace(bytes.as_slice()).unwrap();
         assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn incremental_reader_agrees_with_read_trace() {
+        let trace = "# hdr\n0,5,4096,W,0.25\n\n0,9,8192,R,0.10\n0,1,512,r,0.50\n";
+        let streamed: Vec<Request> = Records::new(trace.as_bytes())
+            .collect::<Result<_, _>>()
+            .expect("valid trace");
+        // File order, default ids.
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[0].arrival, SimTime::from_secs_f64(0.25));
+        assert_eq!(streamed[1].arrival, SimTime::from_secs_f64(0.10));
+        // read_trace = Records + global sort + dense ids.
+        let whole = read_trace(trace.as_bytes()).expect("valid trace");
+        let mut sorted = streamed.clone();
+        sorted.sort_by_key(|r| r.arrival);
+        let resorted: Vec<Request> = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.with_id(crate::request::RequestId::new(i as u64)))
+            .collect();
+        assert_eq!(whole.requests(), resorted.as_slice());
+    }
+
+    #[test]
+    fn incremental_reader_reports_error_line() {
+        let mut records = Records::new("0,1,512,R,0.0\n0,1,512,X,1.0\n".as_bytes());
+        assert!(records.next().unwrap().is_ok());
+        assert_eq!(records.line_number(), 1);
+        let err = records.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
