@@ -12,7 +12,12 @@
 //!
 //! Usage: `cargo run --release -p gqos-bench --bin perf_report --
 //!         [--out BENCH_core.json] [--samples 9] [--span-secs 60]
-//!         [--threads 4]`
+//!         [--threads 4] [--assert-parallel-speedup <ratio>]`
+//!
+//! With `--assert-parallel-speedup 0.75` the run fails unless
+//! `planner/menu_parallel_5` comes in at or under 0.75× of
+//! `planner/menu_serial_5` — the CI guard against the parallel menu
+//! regressing back to a non-speedup.
 
 use std::time::Instant;
 
@@ -21,9 +26,9 @@ use gqos_core::{
     DecomposeScratch, FcfsScheduler, RttClassifier,
 };
 use gqos_parallel::WorkerPool;
-use gqos_sim::{simulate, FixedRateServer, ServiceClass};
+use gqos_sim::{simulate, Event, EventKind, FixedRateServer, IndexedEventQueue, ServiceClass};
 use gqos_trace::gen::profiles::TraceProfile;
-use gqos_trace::{Iops, SimDuration, TraceSummary, Workload};
+use gqos_trace::{Iops, SimDuration, SimTime, TraceSummary, Workload};
 
 /// One measured kernel: median nanoseconds per operation, plus how many
 /// trace elements one operation touches (0 when not meaningful).
@@ -62,6 +67,39 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     }
 }
 
+/// One engine-feasible fill-and-drain cycle through the indexed queue:
+/// every server gets a completion and a retry, plus the single arrival;
+/// then everything pops in deterministic order. Returns a checksum so the
+/// optimiser cannot elide the work.
+fn indexed_queue_cycle(queue: &mut IndexedEventQueue, servers: usize) -> u64 {
+    queue.clear();
+    // A fixed LCG scatters event times across the wheel's lower levels.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for server in 0..servers {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let t = SimTime::from_nanos((state >> 33) % 50_000_000);
+        queue.push(Event {
+            at: t,
+            kind: EventKind::Completion { server },
+        });
+        queue.push(Event {
+            at: SimTime::from_nanos(t.as_nanos() + 1_000),
+            kind: EventKind::Retry { server },
+        });
+    }
+    queue.push(Event {
+        at: SimTime::from_nanos(25_000_000),
+        kind: EventKind::Arrival { index: 0 },
+    });
+    let mut sum = 0u64;
+    while let Some(event) = queue.pop() {
+        sum = sum.wrapping_add(event.at.as_nanos());
+    }
+    sum
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = args
@@ -72,6 +110,20 @@ fn main() {
     let samples = parse_flag(&args, "--samples").unwrap_or(9) as usize;
     let span = SimDuration::from_secs(parse_flag(&args, "--span-secs").unwrap_or(60));
     let threads = parse_flag(&args, "--threads").unwrap_or(4) as usize;
+    let speedup_bound: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-parallel-speedup")
+        .map(|i| {
+            let value = args.get(i + 1).unwrap_or_else(|| {
+                gqos_bench::exit_usage("--assert-parallel-speedup requires a ratio");
+            });
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => v,
+                _ => gqos_bench::exit_usage(&format!(
+                    "--assert-parallel-speedup value must be a positive ratio (got `{value}`)"
+                )),
+            }
+        });
 
     let openmail = TraceProfile::OpenMail.generate(span, 1);
     let websearch = TraceProfile::WebSearch.generate(span, 1);
@@ -182,15 +234,17 @@ fn main() {
         websearch.len() as u64,
     );
     let fractions = [0.90, 0.95, 0.99, 0.999, 1.0];
+    let menu_serial_ns = measure(samples, 3, || planner.menu(&fractions));
     push(
         "planner/menu_serial_5",
-        measure(samples, 3, || planner.menu(&fractions)),
+        menu_serial_ns,
         websearch.len() as u64,
     );
     let pool = WorkerPool::new(threads);
+    let menu_parallel_ns = measure(samples, 3, || planner.menu_parallel(&fractions, &pool));
     push(
         "planner/menu_parallel_5",
-        measure(samples, 3, || planner.menu_parallel(&fractions, &pool)),
+        menu_parallel_ns,
         websearch.len() as u64,
     );
 
@@ -209,6 +263,41 @@ fn main() {
         "  menu equivalence: serial == parallel ({} fractions, {} threads) ok",
         fractions.len(),
         pool.threads()
+    );
+    println!(
+        "  menu speedup: parallel is {:.2}x vs serial",
+        menu_serial_ns / menu_parallel_ns
+    );
+    if let Some(bound) = speedup_bound {
+        assert!(
+            menu_parallel_ns <= bound * menu_serial_ns,
+            "menu_parallel_5 ({menu_parallel_ns:.0} ns) exceeded {bound} x \
+             menu_serial_5 ({menu_serial_ns:.0} ns) — the parallel menu regressed"
+        );
+        println!("  menu speedup assertion: parallel <= {bound} x serial ok");
+    }
+
+    // --- Event queue ------------------------------------------------------
+    // Fill-and-drain cycles at two fleet sizes. Per-event cost must be
+    // (roughly) flat in the server count — the old per-server scan made it
+    // linear, i.e. ~16x between these two sizes.
+    let mut q64 = IndexedEventQueue::new(64);
+    let cycle_64_ns = measure(samples, 2_000, || indexed_queue_cycle(&mut q64, 64));
+    push("event/indexed_cycle_64", cycle_64_ns, 64 * 2 + 1);
+    let mut q1024 = IndexedEventQueue::new(1024);
+    let cycle_1024_ns = measure(samples, 125, || indexed_queue_cycle(&mut q1024, 1024));
+    push("event/indexed_cycle_1024", cycle_1024_ns, 1024 * 2 + 1);
+    let per_event_64 = cycle_64_ns / (64.0 * 2.0 + 1.0);
+    let per_event_1024 = cycle_1024_ns / (1024.0 * 2.0 + 1.0);
+    println!(
+        "  indexed queue: {per_event_64:.1} ns/event at 64 servers, \
+         {per_event_1024:.1} ns/event at 1024 servers"
+    );
+    assert!(
+        per_event_1024 <= 6.0 * per_event_64,
+        "indexed queue per-event cost grew {:.1}x from 64 to 1024 servers — \
+         pops are scaling with fleet size again",
+        per_event_1024 / per_event_64
     );
 
     // --- Workload aggregates ---------------------------------------------
@@ -231,17 +320,27 @@ fn main() {
         TraceProfile::OpenMail.generate(sim_span, 1)
     };
     let sim_capacity = CapacityPlanner::new(&sim_w, delta).min_capacity(0.90);
+    let sim_run_ns = measure(samples, 3, || {
+        simulate(
+            &sim_w,
+            FcfsScheduler::new(),
+            FixedRateServer::new(sim_capacity),
+        )
+        .completed()
+    });
+    push("sim/fcfs_openmail", sim_run_ns, sim_w.len() as u64);
+    // The simulated-throughput headline: wall-clock ns per simulated
+    // request through the full engine (wheel, scheduler, metrics).
+    // Requests per second = 1e9 / median_ns.
+    let ns_per_request = sim_run_ns / sim_w.len() as f64;
     push(
-        "sim/fcfs_openmail",
-        measure(samples, 3, || {
-            simulate(
-                &sim_w,
-                FcfsScheduler::new(),
-                FixedRateServer::new(sim_capacity),
-            )
-            .completed()
-        }),
+        "sim/requests_per_sec_core",
+        ns_per_request,
         sim_w.len() as u64,
+    );
+    println!(
+        "  sim throughput: {:.2}M simulated requests/sec",
+        1e3 / ns_per_request
     );
 
     // --- JSON ------------------------------------------------------------

@@ -7,8 +7,8 @@ use gqos_parallel::WorkerPool;
 use gqos_trace::SimDuration;
 
 /// The usage line printed under every CLI error.
-pub const USAGE: &str =
-    "usage: [--span <s>] [--seed <n>] [--quick] [--out <dir>] [--parallel] [--threads <n>]";
+pub const USAGE: &str = "usage: [--span <s>] [--seed <n>] [--quick] [--out <dir>] [--parallel] \
+     [--threads <n>] [--fractions <f,f,..>]";
 
 /// A malformed command line, reported instead of a panic so binaries can
 /// exit with a clear diagnostic.
@@ -33,6 +33,14 @@ pub enum ConfigError {
     /// `--threads 0` — zero workers cannot run anything; ask for 1 (serial)
     /// or more.
     ZeroThreads,
+    /// A `--fractions` entry that is not a finite number in `(0, 1]` —
+    /// NaN, infinities, zero, negatives, and values above 1 are all
+    /// meaningless as SLA fractions and are rejected here, before they
+    /// reach the planner.
+    InvalidFraction {
+        /// The offending entry, verbatim.
+        value: String,
+    },
     /// An unrecognised flag.
     UnknownFlag(String),
 }
@@ -51,10 +59,14 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroThreads => {
                 f.write_str("--threads value must be at least 1 (use 1 for a serial run)")
             }
+            ConfigError::InvalidFraction { value } => write!(
+                f,
+                "--fractions entries must be finite numbers in (0, 1] (got `{value}`)"
+            ),
             ConfigError::UnknownFlag(flag) => write!(
                 f,
                 "unknown flag `{flag}`; supported: --span <s>, --seed <n>, --quick, \
-                 --out <dir>, --parallel, --threads <n>"
+                 --out <dir>, --parallel, --threads <n>, --fractions <f,f,..>"
             ),
         }
     }
@@ -71,7 +83,11 @@ impl Error for ConfigError {}
 /// - `--quick` — shorthand for `--span 120`, for smoke runs;
 /// - `--out <dir>` — output directory for CSV files (default `results`);
 /// - `--parallel` — fan independent cells over all available cores;
-/// - `--threads <n>` — fan over exactly `n` worker threads (1 = serial).
+/// - `--threads <n>` — fan over exactly `n` worker threads (1 = serial);
+/// - `--fractions <f,f,..>` — comma-separated SLA fractions in `(0, 1]`
+///   for the experiments that sweep a fraction menu (default: the paper's
+///   Table 1 menu). Entries are validated here so NaN or out-of-range
+///   fractions surface as a usage error, not a planner panic.
 ///
 /// Parallelism never changes results: every experiment assembles its cells
 /// in a fixed order (see [`WorkerPool::map`]), so `--parallel` output is
@@ -86,6 +102,9 @@ pub struct ExpConfig {
     pub out_dir: String,
     /// Worker threads for independent experiment cells (1 = serial).
     pub threads: usize,
+    /// SLA fractions for menu-sweeping experiments; `None` means the
+    /// experiment's built-in menu. Always validated: finite, in `(0, 1]`.
+    pub fractions: Option<Vec<f64>>,
 }
 
 impl Default for ExpConfig {
@@ -95,6 +114,7 @@ impl Default for ExpConfig {
             seed: 42,
             out_dir: "results".to_string(),
             threads: 1,
+            fractions: None,
         }
     }
 }
@@ -178,6 +198,10 @@ impl ExpConfig {
                     }
                     cfg.threads = threads as usize;
                 }
+                "--fractions" => {
+                    let raw = value(&mut it, "--fractions", "a comma-separated fraction list")?;
+                    cfg.fractions = Some(parse_fractions(&raw)?);
+                }
                 other => return Err(ConfigError::UnknownFlag(other.to_string())),
             }
         }
@@ -205,6 +229,41 @@ impl ExpConfig {
     pub fn pool(&self) -> WorkerPool {
         WorkerPool::new(self.threads)
     }
+
+    /// The SLA fractions a menu-sweeping experiment should use, falling
+    /// back to `default` when the command line did not override them.
+    pub fn fractions_or<'a>(&'a self, default: &'a [f64]) -> &'a [f64] {
+        self.fractions.as_deref().unwrap_or(default)
+    }
+}
+
+/// Parses and validates a comma-separated `--fractions` list. Every entry
+/// must be a finite number in `(0, 1]`; an empty list is rejected too —
+/// this is the boundary that keeps NaN away from
+/// [`CapacityPlanner::menu`](gqos_core::CapacityPlanner::menu).
+fn parse_fractions(raw: &str) -> Result<Vec<f64>, ConfigError> {
+    let invalid = |entry: &str| ConfigError::InvalidFraction {
+        value: entry.to_string(),
+    };
+    let entries: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .collect();
+    if entries.is_empty() {
+        return Err(invalid(raw.trim()));
+    }
+    entries
+        .into_iter()
+        .map(|entry| {
+            let f: f64 = entry.parse().map_err(|_| invalid(entry))?;
+            if f.is_finite() && f > 0.0 && f <= 1.0 {
+                Ok(f)
+            } else {
+                Err(invalid(entry))
+            }
+        })
+        .collect()
 }
 
 /// Prints `error: <message>` and the usage line to stderr, then exits with
@@ -330,6 +389,36 @@ mod tests {
         assert!(msg.contains("`lots`"), "{msg}");
         assert!(ConfigError::ZeroThreads.to_string().contains("at least 1"));
         assert!(USAGE.contains("--threads"));
+    }
+
+    #[test]
+    fn fractions_parse_and_default() {
+        let c = ExpConfig::parse(["--fractions", "0.9, 0.99,1.0"]);
+        assert_eq!(c.fractions.as_deref(), Some(&[0.9, 0.99, 1.0][..]));
+        assert_eq!(c.fractions_or(&[0.5]), &[0.9, 0.99, 1.0]);
+        let d = ExpConfig::default();
+        assert_eq!(d.fractions, None);
+        assert_eq!(d.fractions_or(&[0.5]), &[0.5]);
+    }
+
+    #[test]
+    fn bad_fractions_are_rejected_at_the_config_boundary() {
+        for bad in ["NaN", "nan", "inf", "0", "-0.5", "1.5", "0.9,oops", ""] {
+            let err = ExpConfig::try_parse(["--fractions", bad]).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidFraction { .. }),
+                "`{bad}` should be an invalid fraction, got {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("(0, 1]"), "{msg}");
+        }
+        assert_eq!(
+            ExpConfig::try_parse(["--fractions"]),
+            Err(ConfigError::MissingValue {
+                flag: "--fractions",
+                expected: "a comma-separated fraction list"
+            })
+        );
     }
 
     #[test]

@@ -80,6 +80,10 @@ fn malformed_values_are_clean_errors() {
         (&["--threads", "0"], "at least 1"),
         (&["--threads", "-3"], "--threads value"),
         (&["--threads", "many"], "--threads value"),
+        (&["--fractions"], "--fractions requires"),
+        (&["--fractions", "NaN"], "(0, 1]"),
+        (&["--fractions", "0.9,1.5"], "(0, 1]"),
+        (&["--fractions", "0"], "(0, 1]"),
     ];
     for &(args, needle) in cases {
         let output = run(bin, args);
@@ -126,6 +130,17 @@ fn custom_parsers_reject_garbage_cleanly() {
         let output = run(bin, &args);
         assert_clean_usage_error(name, &args, &output, "--samples");
     }
+}
+
+#[test]
+fn nan_fractions_never_reach_the_planner() {
+    // The menu-sweeping binary must reject NaN at the config boundary —
+    // exit 2 with a usage error, not the planner's MenuError panic.
+    let output = run(
+        env!("CARGO_BIN_EXE_table1"),
+        &["--quick", "--fractions", "0.9,NaN"],
+    );
+    assert_clean_usage_error("table1", &["--fractions", "0.9,NaN"], &output, "(0, 1]");
 }
 
 #[test]

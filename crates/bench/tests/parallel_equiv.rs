@@ -16,6 +16,7 @@ fn cfg(threads: usize, out: &str) -> ExpConfig {
         seed: 42,
         out_dir: out.to_string(),
         threads,
+        fractions: None,
     }
 }
 

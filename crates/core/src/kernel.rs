@@ -12,9 +12,44 @@
 //!   *bulk-drain* admit step (the seed's per-completion `while` loop is
 //!   replaced by one division — exactly equivalent, see the unit tests);
 //! - [`overflow_curve`] and [`within_miss_budget_curve`] fuse a whole
-//!   capacity grid into a single pass over the arrivals: the column streams
-//!   through once, and the per-capacity state recurrences — each a serial
-//!   dependency chain — run interleaved so the core overlaps them.
+//!   capacity grid into a single pass over the arrivals.
+//!
+//! # The work-recurrence lane form
+//!
+//! The fused curves do not run [`RttState::admit`] per lane: its drain step
+//! branches three ways and divides on partial drains, which defeats
+//! vectorisation. Instead each non-degenerate lane is rewritten as a
+//! *Lindley work recurrence* over the server's remaining work `w` (ns):
+//!
+//! ```text
+//! w ← max(w − gap, 0)          // the server drains 1 ns of work per ns
+//! admit ⇔ w ≤ (maxQ1 − 1)·s    // pending = ⌈w/s⌉ < maxQ1
+//! if admit { w ← w + s }       // an admitted request adds s ns of work
+//! ```
+//!
+//! where `gap` is the inter-arrival time (shared across lanes) and
+//! `s = service_ns`. The emulated server is work-conserving with
+//! deterministic service, so remaining work decreases at exactly rate 1
+//! while positive, and the pending count at any instant is `⌈w/s⌉` — the
+//! head request carries `w mod s` (or a full `s`), every other request a
+//! full `s`. `⌈w/s⌉ < maxQ1 ⇔ w ≤ (maxQ1−1)·s` for integer `w`, so the
+//! recurrence reproduces [`RttState::admit`] decision-for-decision: four
+//! branch-free integer ops per lane per arrival, no division, and the
+//! per-lane state is one `u64` — exactly the shape the vector units want.
+//! [`LANE_BATCH`] lanes run per sweep, with `#[target_feature]`-compiled
+//! bodies (AVX-512/AVX2 on x86-64) selected once at runtime; every tier
+//! performs the same wrap-free `u64` arithmetic, so results are
+//! bit-identical across ISAs — see `DESIGN.md` §13.
+//!
+//! The rewrite is exact only while no intermediate saturates: `RttState`
+//! deliberately clamps completion instants at the `u64::MAX` ns horizon
+//! ("busy past the horizon") while the work form would keep draining.
+//! [`WorkParams::try_from_rtt`] therefore admits a lane only when
+//! `maxQ1·s` and `last_arrival + maxQ1·s` are representable — then
+//! `w ≤ maxQ1·s` and every `RttState` instant stays below the horizon, so
+//! the two forms coincide. Lanes that fail the guard (saturated `maxQ1`,
+//! horizon-adjacent arrivals) fall back to the scalar scans, whose
+//! saturation semantics are the documented contract.
 //!
 //! [`decompose`]: crate::rtt::decompose
 //! [`within_miss_budget`]: crate::rtt::within_miss_budget
@@ -23,7 +58,7 @@ use gqos_trace::{Iops, SimDuration, Workload};
 
 /// Arrivals per tile of the fused *budget* probe: 4096 × 8 B = 32 KiB,
 /// sized to sit in L1d. [`within_miss_budget_curve`] checks lane viability
-/// at tile granularity so busted lanes drop out between blocks.
+/// at tile granularity so busted batches drop out between blocks.
 const TILE: usize = 4096;
 
 /// Precomputed integer parameters of one RTT scan at a fixed `(C, δ)`.
@@ -167,10 +202,260 @@ pub(crate) fn scan_within_budget(workload: &Workload, p: RttParams, budget: u64)
     true
 }
 
-/// Lanes the fused overflow pass pins in registers per sweep of the
-/// column: four independent `state → state` recurrences is enough to keep
-/// the out-of-order core busy without spilling the states to the stack.
-const LANE_UNROLL: usize = 4;
+/// Lanes per sweep of the fused curves. Eight `u64` states fill one
+/// AVX-512 register (two AVX2 registers), and eight independent
+/// recurrences are enough to hide the compare/blend latency even on the
+/// scalar tier. Grids are processed `⌈k/8⌉` batches at a time with a
+/// scalar remainder loop for the last `k mod 8` lanes.
+pub(crate) const LANE_BATCH: usize = 8;
+
+/// Per-lane constants of the work-recurrence form (module docs): the
+/// service time `s` and the admit threshold `T = (maxQ1 − 1)·s`.
+#[derive(Copy, Clone, Debug)]
+struct WorkParams {
+    service_ns: u64,
+    admit_cap_ns: u64,
+}
+
+impl WorkParams {
+    /// Rewrites an [`RttParams`] lane into work-recurrence form, or `None`
+    /// when the rewrite is not provably exact for this column — i.e. when
+    /// `maxQ1·s` or `last_arrival + maxQ1·s` overflows `u64`, the regime
+    /// where [`RttState`]'s saturating "busy past the horizon" semantics
+    /// (which the work form does not model) can engage. Callers must route
+    /// `None` lanes to the scalar scans.
+    fn try_from_rtt(p: RttParams, last_arrival_ns: u64) -> Option<Self> {
+        let worst_backlog = p.max_q1.checked_mul(p.service_ns)?;
+        last_arrival_ns.checked_add(worst_backlog)?;
+        Some(WorkParams {
+            service_ns: p.service_ns,
+            admit_cap_ns: (p.max_q1 - 1) * p.service_ns,
+        })
+    }
+}
+
+/// One tile of the work recurrence over `K` lanes: streams `block`,
+/// updating per-lane backlog `w` and miss counters in place. `prev` is the
+/// previous arrival instant (0 before the first tile) and carries the gap
+/// chain across tiles. The inner `K`-lane loop is branch-free (compare →
+/// mask → blend), which is what lets the `#[target_feature]` wrappers
+/// vectorise it.
+#[inline(always)]
+fn work_tile<const K: usize>(
+    block: &[u64],
+    service: &[u64; K],
+    cap: &[u64; K],
+    w: &mut [u64; K],
+    miss: &mut [u64; K],
+    prev: &mut u64,
+) {
+    let mut last = *prev;
+    for &arrival in block {
+        // The column is sorted ascending (ArrivalColumn invariant), so the
+        // gap never underflows.
+        let gap = arrival - last;
+        last = arrival;
+        for l in 0..K {
+            let drained = w[l].saturating_sub(gap);
+            let admit = drained <= cap[l];
+            miss[l] += u64::from(!admit);
+            w[l] = drained + u64::from(admit) * service[l];
+        }
+    }
+    *prev = last;
+}
+
+/// `work_tile` hand-vectorised for AVX-512F: all eight `u64` lanes of the
+/// batch live in one zmm register per state array. `max(w, gap) − gap` is
+/// the branch-free saturating subtraction; admits are a `cmple` mask
+/// driving two masked adds. Identical u64 arithmetic to [`work_tile`],
+/// instruction for instruction in value terms — only the lane width
+/// differs.
+///
+/// # Safety
+///
+/// The caller must have verified `avx512f` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn work_tile_avx512(
+    block: &[u64],
+    service: &[u64; LANE_BATCH],
+    cap: &[u64; LANE_BATCH],
+    w: &mut [u64; LANE_BATCH],
+    miss: &mut [u64; LANE_BATCH],
+    prev: &mut u64,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: loadu/storeu have no alignment requirement and the arrays
+    // are exactly LANE_BATCH = 8 u64s = 64 bytes, one zmm register.
+    unsafe {
+        let one = _mm512_set1_epi64(1);
+        let vs = _mm512_loadu_si512(service.as_ptr().cast());
+        let vc = _mm512_loadu_si512(cap.as_ptr().cast());
+        let mut vw = _mm512_loadu_si512(w.as_ptr().cast());
+        let mut vm = _mm512_loadu_si512(miss.as_ptr().cast());
+        let mut last = *prev;
+        for &arrival in block {
+            let gap = arrival - last;
+            last = arrival;
+            let vg = _mm512_set1_epi64(gap as i64);
+            let drained = _mm512_sub_epi64(_mm512_max_epu64(vw, vg), vg);
+            let admit = _mm512_cmple_epu64_mask(drained, vc);
+            vm = _mm512_mask_add_epi64(vm, !admit, vm, one);
+            vw = _mm512_mask_add_epi64(drained, admit, drained, vs);
+        }
+        _mm512_storeu_si512(w.as_mut_ptr().cast(), vw);
+        _mm512_storeu_si512(miss.as_mut_ptr().cast(), vm);
+        *prev = last;
+    }
+}
+
+/// `work_tile` hand-vectorised for AVX2: the eight lanes split across two
+/// ymm halves. AVX2 has no unsigned 64-bit compare, so operands are
+/// sign-flipped (`x ^ 2⁶³`) before the signed `cmpgt`; the saturating
+/// subtraction is `(w − gap) & (w > gap)` and misses accumulate by
+/// subtracting the all-ones `!admit` mask. Same u64 values as the scalar
+/// tier throughout.
+///
+/// # Safety
+///
+/// The caller must have verified `avx2` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn work_tile_avx2(
+    block: &[u64],
+    service: &[u64; LANE_BATCH],
+    cap: &[u64; LANE_BATCH],
+    w: &mut [u64; LANE_BATCH],
+    miss: &mut [u64; LANE_BATCH],
+    prev: &mut u64,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: loadu/storeu have no alignment requirement; each half is
+    // four u64s = 32 bytes, one ymm register.
+    unsafe {
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let load =
+            |a: &[u64; LANE_BATCH], h: usize| _mm256_loadu_si256(a.as_ptr().add(4 * h).cast());
+        let vs = [load(service, 0), load(service, 1)];
+        // The admit threshold, pre-flipped for the signed compare.
+        let vcf = [
+            _mm256_xor_si256(load(cap, 0), sign),
+            _mm256_xor_si256(load(cap, 1), sign),
+        ];
+        let mut vw = [load(w, 0), load(w, 1)];
+        let mut vm = [load(miss, 0), load(miss, 1)];
+        let mut last = *prev;
+        for &arrival in block {
+            let gap = arrival - last;
+            last = arrival;
+            let vg = _mm256_set1_epi64x(gap as i64);
+            let vgf = _mm256_xor_si256(vg, sign);
+            for h in 0..2 {
+                let wf = _mm256_xor_si256(vw[h], sign);
+                let pos = _mm256_cmpgt_epi64(wf, vgf); // w > gap, unsigned
+                let diff = _mm256_sub_epi64(vw[h], vg);
+                let drained = _mm256_and_si256(diff, pos); // max(w − gap, 0)
+                let df = _mm256_xor_si256(drained, sign);
+                let no_admit = _mm256_cmpgt_epi64(df, vcf[h]); // drained > cap
+                vm[h] = _mm256_sub_epi64(vm[h], no_admit); // −(−1) per miss
+                let add = _mm256_andnot_si256(no_admit, vs[h]);
+                vw[h] = _mm256_add_epi64(drained, add);
+            }
+        }
+        for h in 0..2 {
+            _mm256_storeu_si256(w.as_mut_ptr().add(4 * h).cast(), vw[h]);
+            _mm256_storeu_si256(miss.as_mut_ptr().add(4 * h).cast(), vm[h]);
+        }
+        *prev = last;
+    }
+}
+
+/// Runtime-dispatched `work_tile`: picks the widest ISA tier the host
+/// supports. Every tier runs the identical wrap-free `u64` recurrence, so
+/// the choice affects speed only, never results — pinned by
+/// `batched_tiers_match_the_scalar_lane_bit_for_bit` and the
+/// `simd_props` differential suite.
+#[inline]
+fn work_tile_dispatch(
+    block: &[u64],
+    service: &[u64; LANE_BATCH],
+    cap: &[u64; LANE_BATCH],
+    w: &mut [u64; LANE_BATCH],
+    miss: &mut [u64; LANE_BATCH],
+    prev: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: avx512f support was just verified.
+            return unsafe { work_tile_avx512(block, service, cap, w, miss, prev) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: avx2 support was just verified.
+            return unsafe { work_tile_avx2(block, service, cap, w, miss, prev) };
+        }
+    }
+    work_tile(block, service, cap, w, miss, prev);
+}
+
+/// Scalar (single-lane) work recurrence: the remainder loop of the fused
+/// curves, and the reference the batched tiers are pinned against in the
+/// differential tests.
+fn work_overflow_lane(col: &[u64], p: WorkParams) -> u64 {
+    let (mut w, mut miss, mut prev) = (0u64, 0u64, 0u64);
+    for &arrival in col {
+        let gap = arrival - prev;
+        prev = arrival;
+        let drained = w.saturating_sub(gap);
+        if drained <= p.admit_cap_ns {
+            w = drained + p.service_ns;
+        } else {
+            w = drained;
+            miss += 1;
+        }
+    }
+    miss
+}
+
+/// Scalar budgeted work recurrence: aborts as soon as `budget` is
+/// exceeded, mirroring [`scan_within_budget`].
+fn work_budget_lane(col: &[u64], p: WorkParams, budget: u64) -> bool {
+    let (mut w, mut miss, mut prev) = (0u64, 0u64, 0u64);
+    for &arrival in col {
+        let gap = arrival - prev;
+        prev = arrival;
+        let drained = w.saturating_sub(gap);
+        if drained <= p.admit_cap_ns {
+            w = drained + p.service_ns;
+        } else {
+            w = drained;
+            miss += 1;
+            if miss > budget {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// How a grid lane is evaluated: the vectorisable work form, the scalar
+/// saturating scan (horizon-adjacent regimes), or degenerate (`⌊C·δ⌋ = 0`).
+enum LaneForm {
+    Work(WorkParams),
+    Scalar(RttParams),
+    Degenerate,
+}
+
+fn lane_form(capacity: Iops, deadline: SimDuration, last_arrival_ns: u64) -> LaneForm {
+    match RttParams::try_new(capacity, deadline) {
+        None => LaneForm::Degenerate,
+        Some(p) => match WorkParams::try_from_rtt(p, last_arrival_ns) {
+            Some(wp) => LaneForm::Work(wp),
+            None => LaneForm::Scalar(p),
+        },
+    }
+}
 
 /// Evaluates RTT overflow counts for a whole capacity grid in one fused
 /// pass over the workload — the probe behind capacity sweeps and
@@ -183,13 +468,13 @@ const LANE_UNROLL: usize = 4;
 /// deadline guarantees nothing, so every request overflows. That convention
 /// lets grid sweeps include sub-floor capacities without pre-filtering.
 ///
-/// The grid is processed [`LANE_UNROLL`] capacities at a time: each quad
-/// sweeps the column once with its four states held in registers. One
-/// per-capacity scan is latency-bound on a single serial `state → state`
-/// recurrence; inside a quad the four recurrences are independent, so the
-/// core overlaps them and the sweep runs near throughput instead of
-/// latency. The column is streamed `⌈k/4⌉` times, but it is a flat 8 B/req
-/// buffer — bandwidth is not the binding constraint, the chain is.
+/// The grid is processed [`LANE_BATCH`] capacities at a time in the
+/// work-recurrence form (module docs): each batch sweeps the column once
+/// with its eight 8-byte states in registers, four branch-free ops per
+/// lane per arrival, vectorised on the widest ISA tier the host supports.
+/// Results are bit-identical to the scalar scan on every tier. The column
+/// is streamed `⌈k/8⌉` times, but it is a flat 8 B/req buffer — bandwidth
+/// is not the binding constraint.
 ///
 /// # Panics
 ///
@@ -197,61 +482,107 @@ const LANE_UNROLL: usize = 4;
 pub fn overflow_curve(workload: &Workload, capacities: &[Iops], deadline: SimDuration) -> Vec<u64> {
     assert!(!deadline.is_zero(), "deadline must be positive");
     let n = workload.len() as u64;
-    let mut lanes: Vec<(usize, RttParams, RttState, u64)> = Vec::with_capacity(capacities.len());
-    let mut overflow = vec![0u64; capacities.len()];
-    for (i, &c) in capacities.iter().enumerate() {
-        match RttParams::try_new(c, deadline) {
-            Some(p) => lanes.push((i, p, RttState::default(), 0)),
-            None => overflow[i] = n,
-        }
-    }
     let col = workload.arrival_column().nanos();
-    let mut quads = lanes.chunks_exact_mut(LANE_UNROLL);
-    for quad in &mut quads {
-        let [l0, l1, l2, l3] = quad else {
-            unreachable!()
-        };
-        let (p0, p1, p2, p3) = (l0.1, l1.1, l2.1, l3.1);
-        let (mut s0, mut s1, mut s2, mut s3) = (l0.2, l1.2, l2.2, l3.2);
-        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
-        for &arrival in col {
-            c0 += u64::from(!s0.admit(p0, arrival));
-            c1 += u64::from(!s1.admit(p1, arrival));
-            c2 += u64::from(!s2.admit(p2, arrival));
-            c3 += u64::from(!s3.admit(p3, arrival));
-        }
-        (l0.3, l1.3, l2.3, l3.3) = (c0, c1, c2, c3);
-    }
-    // Up to three leftover lanes: one sweep, interleaved arrival-major.
-    let rest = quads.into_remainder();
-    if !rest.is_empty() {
-        for &arrival in col {
-            for (_, p, state, count) in rest.iter_mut() {
-                *count += u64::from(!state.admit(*p, arrival));
-            }
+    let last_arrival = col.last().copied().unwrap_or(0);
+    let mut overflow = vec![0u64; capacities.len()];
+    let mut fast: Vec<(usize, WorkParams)> = Vec::with_capacity(capacities.len());
+    for (i, &c) in capacities.iter().enumerate() {
+        match lane_form(c, deadline, last_arrival) {
+            LaneForm::Work(wp) => fast.push((i, wp)),
+            LaneForm::Scalar(p) => overflow[i] = scan_overflow(workload, p),
+            LaneForm::Degenerate => overflow[i] = n,
         }
     }
-    for (i, _, _, count) in lanes {
-        overflow[i] = count;
+    let mut batches = fast.chunks_exact(LANE_BATCH);
+    for batch in &mut batches {
+        let mut service = [0u64; LANE_BATCH];
+        let mut cap = [0u64; LANE_BATCH];
+        for (l, &(_, wp)) in batch.iter().enumerate() {
+            service[l] = wp.service_ns;
+            cap[l] = wp.admit_cap_ns;
+        }
+        let mut w = [0u64; LANE_BATCH];
+        let mut miss = [0u64; LANE_BATCH];
+        let mut prev = 0u64;
+        work_tile_dispatch(col, &service, &cap, &mut w, &mut miss, &mut prev);
+        for (l, &(i, _)) in batch.iter().enumerate() {
+            overflow[i] = miss[l];
+        }
+    }
+    // Scalar remainder: the last `k mod LANE_BATCH` lanes sweep one by one.
+    for &(i, wp) in batches.remainder() {
+        overflow[i] = work_overflow_lane(col, wp);
     }
     overflow
 }
 
-/// Fused budgeted feasibility probe over a capacity grid: result `i` is
-/// `within_miss_budget(workload, capacities[i], deadline, budget)`, with
-/// degenerate capacities (`⌊C·δ⌋ = 0`) feasible only when the whole
-/// workload fits the budget (`len ≤ budget`), matching the
-/// [`overflow_curve`] convention.
+/// Fused budgeted feasibility probes over a set of `(capacity, budget)`
+/// pairs: result `i` is `within_miss_budget(workload, probes[i].0,
+/// deadline, probes[i].1)`, with degenerate capacities (`⌊C·δ⌋ = 0`)
+/// feasible only when the whole workload fits the budget, matching the
+/// [`overflow_curve`] convention. Per-lane budgets are what the planner's
+/// wide bisection needs: one pass answers eight *different* fractions'
+/// probes at once.
 ///
-/// Early exits are *shared across the grid*: overflow counts are
-/// non-increasing in `C` (a faster server with a deeper bound admits a
-/// superset — see `overflow_is_monotone_in_capacity` in the tests), so as
-/// the scan advances, capacities bust their budget from the bottom of the
-/// grid upward. Each busted lane drops out of the remaining tiles, and the
-/// pass stops entirely once every lane has failed — an infeasible grid
-/// costs one budget-bounded prefix, not `k` full scans. Each lane's own
-/// exit is decided by its running count alone, so the result does not
-/// *rely* on monotonicity; monotonicity is what makes the shared exit pay.
+/// Early exit is at batch granularity: the column is streamed in
+/// [`TILE`]-sized blocks and a batch stops as soon as *every* lane in it
+/// has exceeded its budget (each lane's verdict depends only on its own
+/// running count, so letting a busted lane ride along is harmless).
+/// Overflow counts are non-increasing in `C` (see
+/// `overflow_is_monotone_in_capacity` in the tests), so sorted grids bust
+/// from the bottom up and an infeasible batch costs one budget-bounded
+/// prefix, not eight full scans.
+pub(crate) fn within_miss_budget_multi(
+    workload: &Workload,
+    probes: &[(Iops, u64)],
+    deadline: SimDuration,
+) -> Vec<bool> {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let n = workload.len() as u64;
+    let col = workload.arrival_column().nanos();
+    let last_arrival = col.last().copied().unwrap_or(0);
+    let mut verdicts = vec![false; probes.len()];
+    let mut fast: Vec<(usize, WorkParams, u64)> = Vec::with_capacity(probes.len());
+    for (i, &(c, budget)) in probes.iter().enumerate() {
+        match lane_form(c, deadline, last_arrival) {
+            LaneForm::Work(wp) => fast.push((i, wp, budget)),
+            LaneForm::Scalar(p) => verdicts[i] = scan_within_budget(workload, p, budget),
+            LaneForm::Degenerate => verdicts[i] = n <= budget,
+        }
+    }
+    let mut batches = fast.chunks_exact(LANE_BATCH);
+    for batch in &mut batches {
+        let mut service = [0u64; LANE_BATCH];
+        let mut cap = [0u64; LANE_BATCH];
+        let mut budget = [0u64; LANE_BATCH];
+        for (l, &(_, wp, b)) in batch.iter().enumerate() {
+            service[l] = wp.service_ns;
+            cap[l] = wp.admit_cap_ns;
+            budget[l] = b;
+        }
+        let mut w = [0u64; LANE_BATCH];
+        let mut miss = [0u64; LANE_BATCH];
+        let mut prev = 0u64;
+        for block in col.chunks(TILE) {
+            work_tile_dispatch(block, &service, &cap, &mut w, &mut miss, &mut prev);
+            if (0..LANE_BATCH).all(|l| miss[l] > budget[l]) {
+                // Whole batch busted: drop the remaining tiles.
+                break;
+            }
+        }
+        for (l, &(i, _, b)) in batch.iter().enumerate() {
+            verdicts[i] = miss[l] <= b;
+        }
+    }
+    for &(i, wp, b) in batches.remainder() {
+        verdicts[i] = work_budget_lane(col, wp, b);
+    }
+    verdicts
+}
+
+/// Fused budgeted feasibility probe over a capacity grid at one shared
+/// budget: result `i` is `within_miss_budget(workload, capacities[i],
+/// deadline, budget)`. Thin wrapper over [`within_miss_budget_multi`].
 ///
 /// # Panics
 ///
@@ -262,38 +593,8 @@ pub fn within_miss_budget_curve(
     deadline: SimDuration,
     budget: u64,
 ) -> Vec<bool> {
-    assert!(!deadline.is_zero(), "deadline must be positive");
-    let n = workload.len() as u64;
-    let mut verdicts = vec![false; capacities.len()];
-    let mut lanes: Vec<(usize, RttParams, RttState, u64)> = Vec::with_capacity(capacities.len());
-    for (i, &c) in capacities.iter().enumerate() {
-        match RttParams::try_new(c, deadline) {
-            Some(p) => lanes.push((i, p, RttState::default(), 0)),
-            None => verdicts[i] = n <= budget,
-        }
-    }
-    for block in workload.arrival_column().nanos().chunks(TILE) {
-        lanes.retain_mut(|(_, p, state, overflow)| {
-            for &arrival in block {
-                if !state.admit(*p, arrival) {
-                    *overflow += 1;
-                    if *overflow > budget {
-                        // Lane busted: drop it from the remaining tiles.
-                        return false;
-                    }
-                }
-            }
-            true
-        });
-        if lanes.is_empty() {
-            break;
-        }
-    }
-    // Lanes that survived the full scan stayed within budget.
-    for (i, _, _, _) in lanes {
-        verdicts[i] = true;
-    }
-    verdicts
+    let probes: Vec<(Iops, u64)> = capacities.iter().map(|&c| (c, budget)).collect();
+    within_miss_budget_multi(workload, &probes, deadline)
 }
 
 #[cfg(test)]
@@ -344,6 +645,70 @@ mod tests {
     }
 
     #[test]
+    fn work_recurrence_matches_rtt_state_decision_for_decision() {
+        // The module-docs equivalence, checked per arrival: backlog work
+        // w relates to the queue state by lenQ1 = ⌈w/s⌉, and the admit
+        // decisions coincide.
+        let w = bursty();
+        for c in [120.0, 300.0, 457.0, 2000.0] {
+            let p = RttParams::new(Iops::new(c), dms(20));
+            let wp = WorkParams::try_from_rtt(p, u64::MAX / 4).expect("guard passes");
+            let mut state = RttState::default();
+            let (mut work, mut prev) = (0u64, 0u64);
+            for &a in w.arrival_column().nanos() {
+                let gap = a - prev;
+                prev = a;
+                work = work.saturating_sub(gap);
+                let work_admit = work <= wp.admit_cap_ns;
+                if work_admit {
+                    work += wp.service_ns;
+                }
+                assert_eq!(state.admit(p, a), work_admit, "C={c} arrival={a}");
+                assert_eq!(state.len_q1, work.div_ceil(wp.service_ns), "C={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_form_guard_rejects_horizon_and_saturated_lanes() {
+        // Saturated maxQ1: maxQ1·s overflows, no work form.
+        let sat = RttParams {
+            max_q1: u64::MAX,
+            service_ns: 2,
+        };
+        assert!(WorkParams::try_from_rtt(sat, 0).is_none());
+        // Horizon-adjacent column: last + maxQ1·s overflows, no work form.
+        let p = RttParams::new(Iops::new(100.0), dms(20));
+        assert!(WorkParams::try_from_rtt(p, u64::MAX - 10).is_none());
+        assert!(WorkParams::try_from_rtt(p, u64::MAX / 2).is_some());
+    }
+
+    #[test]
+    fn batched_tiers_match_the_scalar_lane_bit_for_bit() {
+        // The same eight lanes through the dispatched batch and the scalar
+        // remainder loop: counts must be bit-identical (the SIMD
+        // determinism guarantee, DESIGN.md §13).
+        let w = bursty();
+        let col = w.arrival_column().nanos();
+        let caps: [f64; LANE_BATCH] = [110.0, 150.0, 250.0, 333.0, 410.0, 800.0, 1500.0, 6000.0];
+        let mut service = [0u64; LANE_BATCH];
+        let mut cap = [0u64; LANE_BATCH];
+        let mut scalar = [0u64; LANE_BATCH];
+        for (l, &c) in caps.iter().enumerate() {
+            let p = RttParams::new(Iops::new(c), dms(10));
+            let wp = WorkParams::try_from_rtt(p, *col.last().unwrap()).unwrap();
+            service[l] = wp.service_ns;
+            cap[l] = wp.admit_cap_ns;
+            scalar[l] = work_overflow_lane(col, wp);
+        }
+        let mut wstate = [0u64; LANE_BATCH];
+        let mut miss = [0u64; LANE_BATCH];
+        let mut prev = 0u64;
+        work_tile_dispatch(col, &service, &cap, &mut wstate, &mut miss, &mut prev);
+        assert_eq!(miss, scalar);
+    }
+
+    #[test]
     fn overflow_curve_matches_scalar_decompose() {
         let w = bursty();
         let delta = dms(10);
@@ -353,6 +718,27 @@ mod tests {
         let fused = overflow_curve(&w, &grid, delta);
         for (i, &c) in grid.iter().enumerate() {
             assert_eq!(fused[i], decompose(&w, c, delta).overflow_count(), "C={c}");
+        }
+    }
+
+    #[test]
+    fn overflow_curve_matches_across_batch_remainders() {
+        // Grid sizes 0..=2×LANE_BATCH exercise every remainder length on
+        // both sides of the batch boundary.
+        let w = bursty();
+        let delta = dms(10);
+        for k in 0..=(2 * LANE_BATCH) {
+            let grid: Vec<Iops> = (0..k)
+                .map(|i| Iops::new(105.0 + 137.0 * i as f64))
+                .collect();
+            let fused = overflow_curve(&w, &grid, delta);
+            for (i, &c) in grid.iter().enumerate() {
+                assert_eq!(
+                    fused[i],
+                    decompose(&w, c, delta).overflow_count(),
+                    "k={k} C={c}"
+                );
+            }
         }
     }
 
@@ -404,6 +790,22 @@ mod tests {
     }
 
     #[test]
+    fn budget_multi_honours_per_lane_budgets() {
+        // A full batch plus remainder where every lane carries a different
+        // budget; each verdict must match the scalar probe at that lane's
+        // own budget.
+        let w = bursty();
+        let delta = dms(10);
+        let probes: Vec<(Iops, u64)> = (0..11)
+            .map(|i| (Iops::new(120.0 + 90.0 * i as f64), (i * i) as u64))
+            .collect();
+        let fused = within_miss_budget_multi(&w, &probes, delta);
+        for (i, &(c, b)) in probes.iter().enumerate() {
+            assert_eq!(fused[i], within_miss_budget(&w, c, delta, b), "C={c} b={b}");
+        }
+    }
+
+    #[test]
     fn budget_curve_degenerate_capacity_needs_budget_for_all() {
         let w = Workload::from_arrivals(vec![SimTime::ZERO; 4]);
         let grid = [Iops::new(10.0)]; // degenerate at 10 ms
@@ -428,14 +830,20 @@ mod tests {
 
     #[test]
     fn tiling_boundary_is_seamless() {
-        // A workload longer than one tile: the state must carry across
-        // tile boundaries exactly.
+        // A workload longer than one tile: the gap chain and per-lane
+        // backlog must carry across tile boundaries exactly.
         let w = Workload::from_arrivals((0..(TILE as u64 * 2 + 37)).map(|i| ms(i / 3)));
         let delta = dms(10);
         let grid = [Iops::new(250.0), Iops::new(3500.0)];
         let fused = overflow_curve(&w, &grid, delta);
         for (i, &c) in grid.iter().enumerate() {
             assert_eq!(fused[i], decompose(&w, c, delta).overflow_count(), "C={c}");
+        }
+        for budget in [0u64, 100, 5000] {
+            let fused = within_miss_budget_curve(&w, &grid, delta, budget);
+            for (i, &c) in grid.iter().enumerate() {
+                assert_eq!(fused[i], within_miss_budget(&w, c, delta, budget), "C={c}");
+            }
         }
     }
 
@@ -447,8 +855,9 @@ mod tests {
 
     #[test]
     fn overflowing_capacity_saturates_and_admits_everything() {
-        // C·δ = 1e30 × 10 s ≫ 2^64: the bound saturates at u64::MAX and the
-        // scan must neither wrap nor panic — nothing overflows Q1.
+        // C·δ = 1e30 × 10 s ≫ 2^64: the bound saturates at u64::MAX, the
+        // work-form guard rejects the lane, and the scalar fallback must
+        // neither wrap nor panic — nothing overflows Q1.
         let w = bursty();
         let p = RttParams::try_new(Iops::new(1e30), SimDuration::from_secs(10))
             .expect("saturated bound is not degenerate");
@@ -458,6 +867,23 @@ mod tests {
             overflow_curve(&w, &[Iops::new(1e30)], SimDuration::from_secs(10)),
             vec![0]
         );
+    }
+
+    #[test]
+    fn horizon_adjacent_columns_use_the_saturating_scalar_path() {
+        // Arrivals at the clock horizon: the work form is not exact there
+        // (RttState deliberately saturates), so the curve must agree with
+        // the scalar scan — the guard routes these lanes to it.
+        let arrivals: Vec<SimTime> = (0..50)
+            .map(|i| SimTime::from_nanos(u64::MAX - 500 + 10 * (i / 5)))
+            .collect();
+        let w = Workload::from_arrivals(arrivals);
+        let grid = [Iops::new(100.0), Iops::new(1e6)];
+        let fused = overflow_curve(&w, &grid, dms(20));
+        for (i, &c) in grid.iter().enumerate() {
+            let p = RttParams::new(c, dms(20));
+            assert_eq!(fused[i], scan_overflow(&w, p), "C={c}");
+        }
     }
 
     #[test]

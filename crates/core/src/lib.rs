@@ -85,7 +85,7 @@ pub use graduated::GraduatedScheduler;
 pub use kernel::{overflow_curve, within_miss_budget_curve};
 pub use miser::MiserScheduler;
 pub use offline::{rtt_period_bound, slotted_lower_bound, OptimalityCheck};
-pub use planner::{CapacityPlanner, SlaQuote};
+pub use planner::{CapacityPlanner, MenuError, SlaQuote};
 pub use pricing::{PricingModel, Quote};
 pub use rtt::{
     checked_max_queue, decompose, decompose_with_budget, optimal_drop_lower_bound, overflow_count,

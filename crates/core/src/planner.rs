@@ -11,9 +11,62 @@ use std::fmt;
 use gqos_parallel::WorkerPool;
 use gqos_trace::{Iops, SimDuration, Workload};
 
-use crate::kernel::overflow_curve;
+use crate::kernel::{overflow_curve, within_miss_budget_multi, LANE_BATCH};
 use crate::rtt::{overflow_count, within_miss_budget};
 use crate::target::{Provision, QosTarget};
+
+/// Why an SLA-menu request was rejected: a guaranteed fraction that is not
+/// a real number in `(0, 1]`. Returned by [`CapacityPlanner::try_menu`]
+/// and [`CapacityPlanner::try_menu_parallel`]; the panicking wrappers
+/// ([`menu`](CapacityPlanner::menu),
+/// [`menu_parallel`](CapacityPlanner::menu_parallel)) panic with the same
+/// message.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum MenuError {
+    /// The fraction at `index` is NaN or infinite.
+    NotFinite {
+        /// Position of the offending fraction in the request.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The fraction at `index` is outside the guaranteeable range `(0, 1]`.
+    OutOfRange {
+        /// Position of the offending fraction in the request.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MenuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MenuError::NotFinite { index, value } => write!(
+                f,
+                "menu fraction #{index} must be a finite number (got {value})"
+            ),
+            MenuError::OutOfRange { index, value } => {
+                write!(f, "menu fraction #{index} must be in (0, 1]: got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MenuError {}
+
+/// Validates a menu request: every fraction finite and in `(0, 1]`.
+fn validate_fractions(fractions: &[f64]) -> Result<(), MenuError> {
+    for (index, &value) in fractions.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(MenuError::NotFinite { index, value });
+        }
+        if value <= 0.0 || value > 1.0 {
+            return Err(MenuError::OutOfRange { index, value });
+        }
+    }
+    Ok(())
+}
 
 /// Plans capacity for one workload at a fixed deadline.
 ///
@@ -129,8 +182,7 @@ impl<'w> CapacityPlanner<'w> {
             fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0, 1]: {fraction}"
         );
-        // Smallest capacity with a non-degenerate RTT bound: C·δ ≥ 1.
-        let floor = (1.0 / self.deadline.as_secs_f64()).ceil().max(1.0) as u64;
+        let floor = self.capacity_floor();
         if self.workload.is_empty() {
             return floor;
         }
@@ -166,6 +218,11 @@ impl<'w> CapacityPlanner<'w> {
         hi
     }
 
+    /// Smallest capacity with a non-degenerate RTT bound: `C·δ ≥ 1`.
+    fn capacity_floor(&self) -> u64 {
+        (1.0 / self.deadline.as_secs_f64()).ceil().max(1.0) as u64
+    }
+
     /// The full provision for a target: `Cmin(f, δ)` plus the default
     /// surplus `ΔC = 1/δ`.
     ///
@@ -188,13 +245,23 @@ impl<'w> CapacityPlanner<'w> {
     /// input order regardless): because `Cmin` is monotone in `f`, each
     /// result warm-starts the next search's lower bracket, so the sweep
     /// does one doubling phase for the whole row instead of one per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`MenuError`] message if any fraction is NaN,
+    /// infinite, or outside `(0, 1]` — use [`try_menu`](Self::try_menu)
+    /// for a non-panicking rejection path.
     pub fn menu(&self, fractions: &[f64]) -> Vec<SlaQuote> {
-        let mut order: Vec<usize> = (0..fractions.len()).collect();
-        order.sort_by(|&a, &b| {
-            fractions[a]
-                .partial_cmp(&fractions[b])
-                .expect("menu fraction must not be NaN")
-        });
+        self.try_menu(fractions).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`menu`](Self::menu) that rejects invalid fractions instead of
+    /// panicking: every fraction must be finite and in `(0, 1]`, otherwise
+    /// the first offender is reported as a [`MenuError`] and no search
+    /// runs.
+    pub fn try_menu(&self, fractions: &[f64]) -> Result<Vec<SlaQuote>, MenuError> {
+        validate_fractions(fractions)?;
+        let order = ascending_order(fractions);
         let mut quotes: Vec<Option<SlaQuote>> = vec![None; fractions.len()];
         let mut warm = None;
         for &i in &order {
@@ -205,33 +272,183 @@ impl<'w> CapacityPlanner<'w> {
                 cmin: Iops::new(cmin as f64),
             });
         }
-        quotes
+        Ok(quotes
             .into_iter()
             .map(|q| q.expect("every entry filled"))
-            .collect()
+            .collect())
     }
 
-    /// [`menu`](Self::menu) with the fractions fanned across `pool` —
-    /// byte-identical quotes, different wall-clock shape.
+    /// [`menu`](Self::menu) with the ascending fraction sweep partitioned
+    /// into contiguous per-worker ranges over `pool` — byte-identical
+    /// quotes, a fraction of the probe work.
     ///
-    /// Each fraction's search runs cold (no warm bracket: warm-starting is
-    /// inherently sequential), so the parallel sweep does more total probe
-    /// work than the serial one; it wins when the pool's width outweighs
-    /// the redundant doubling phases — wide menus over long traces. Both
-    /// paths return the exact minimal integer capacity per fraction and
-    /// [`WorkerPool::map`] assembles results positionally, so the output is
-    /// guaranteed identical to the serial menu's, entry for entry (see
-    /// `parallel_menu_is_byte_identical` in the tests). With a serial pool
-    /// this *is* the warm-started sweep.
+    /// One fused [`overflow_curve`] pass over the doubling seed grid
+    /// `⌈1/δ⌉·2^k` (the analytic curve behind
+    /// [`fraction_curve`](Self::fraction_curve)) brackets every fraction's
+    /// `Cmin` between consecutive grid points before any search runs. The
+    /// sorted fractions are then split into contiguous ranges, one per
+    /// worker; within a range each result warm-starts the next fraction's
+    /// lower bracket exactly as the serial sweep does, and each bracket is
+    /// resolved by *wide bisection*: up to [`LANE_BATCH`] interior
+    /// capacities probed per fused [`within_miss_budget_multi`] pass,
+    /// shrinking the bracket ~9× per pass instead of 2×.
+    ///
+    /// Every probe answers the same exact integer feasibility question as
+    /// the serial search (the fused kernels are bit-equal to the scalar
+    /// scans), and both paths return the unique minimal integer capacity
+    /// per fraction, so the output is guaranteed identical to
+    /// [`menu`](Self::menu)'s, entry for entry — see
+    /// `parallel_menu_is_byte_identical` in the tests. With a serial pool
+    /// this *is* the warm-started serial sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`MenuError`] message if any fraction is NaN,
+    /// infinite, or outside `(0, 1]` — use
+    /// [`try_menu_parallel`](Self::try_menu_parallel) for a non-panicking
+    /// rejection path.
     pub fn menu_parallel(&self, fractions: &[f64], pool: &WorkerPool) -> Vec<SlaQuote> {
-        if pool.is_serial() || fractions.len() <= 1 {
-            return self.menu(fractions);
-        }
-        pool.map(fractions.to_vec(), |fraction| SlaQuote {
-            target: QosTarget::new(fraction, self.deadline),
-            cmin: Iops::new(self.search_cmin(fraction, None) as f64),
-        })
+        self.try_menu_parallel(fractions, pool)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// [`menu_parallel`](Self::menu_parallel) that rejects invalid
+    /// fractions instead of panicking, with the same contract as
+    /// [`try_menu`](Self::try_menu).
+    pub fn try_menu_parallel(
+        &self,
+        fractions: &[f64],
+        pool: &WorkerPool,
+    ) -> Result<Vec<SlaQuote>, MenuError> {
+        validate_fractions(fractions)?;
+        if pool.is_serial() || fractions.len() <= 1 || self.workload.is_empty() {
+            return self.try_menu(fractions);
+        }
+
+        // Seed: one fused overflow pass over the doubling grid gives every
+        // fraction an exact (failing, meeting] capacity bracket.
+        let seed = SeedCurve::new(self);
+
+        // Contiguous per-worker ranges of the ascending sweep.
+        let order = ascending_order(fractions);
+        let workers = pool.threads().max(1);
+        let chunk = order.len().div_ceil(workers);
+        let ranges: Vec<Vec<usize>> = order.chunks(chunk).map(<[usize]>::to_vec).collect();
+
+        let resolved: Vec<Vec<(usize, u64)>> = pool.map(ranges, |range| {
+            let mut out = Vec::with_capacity(range.len());
+            let mut warm = None;
+            for i in range {
+                let cmin = self.resolve_bracket(fractions[i], &seed, warm);
+                warm = Some(cmin);
+                out.push((i, cmin));
+            }
+            out
+        });
+
+        let mut quotes: Vec<Option<SlaQuote>> = vec![None; fractions.len()];
+        for (i, cmin) in resolved.into_iter().flatten() {
+            quotes[i] = Some(SlaQuote {
+                target: QosTarget::new(fractions[i], self.deadline),
+                cmin: Iops::new(cmin as f64),
+            });
+        }
+        Ok(quotes
+            .into_iter()
+            .map(|q| q.expect("every entry filled"))
+            .collect())
+    }
+
+    /// Resolves one fraction's `Cmin` from its seed bracket by wide
+    /// bisection. `warm` is the previous (easier) fraction's exact `Cmin`
+    /// from the same range: `warm − 1` cannot meet this fraction either
+    /// (budgets shrink as `f` grows), so it tightens the lower bracket.
+    fn resolve_bracket(&self, fraction: f64, seed: &SeedCurve, warm: Option<u64>) -> u64 {
+        let budget = self.miss_budget(fraction);
+        let (seed_lo, hi) = seed.bracket(budget);
+        let Some(seed_lo) = seed_lo else {
+            // The domain floor itself meets the budget: minimal by
+            // construction, exactly as the serial search returns `start`.
+            return hi;
+        };
+        let mut lo = seed_lo.max(warm.unwrap_or(0).saturating_sub(1));
+        let mut hi = hi;
+        // Invariant: lo fails, hi meets. Each pass probes up to LANE_BATCH
+        // interior capacities in one fused budget sweep.
+        while hi - lo > 1 {
+            let width = (hi - lo) as u128;
+            let m = (width - 1).min(LANE_BATCH as u128) as u64;
+            let point = |i: u64| lo + (width * i as u128 / (m as u128 + 1)) as u64;
+            let probes: Vec<(Iops, u64)> = (1..=m)
+                .map(|i| (Iops::new(point(i) as f64), budget))
+                .collect();
+            let verdicts = within_miss_budget_multi(self.workload, &probes, self.deadline);
+            // Overflow is monotone in capacity: the verdicts flip from
+            // failing to meeting exactly once across the probes.
+            let mut new_lo = lo;
+            let mut new_hi = hi;
+            for (k, &meets) in verdicts.iter().enumerate() {
+                let c = point(k as u64 + 1);
+                if meets {
+                    new_hi = c;
+                    break;
+                }
+                new_lo = c;
+            }
+            (lo, hi) = (new_lo, new_hi);
+        }
+        hi
+    }
+}
+
+/// The parallel menu's seed: the doubling capacity grid `⌈1/δ⌉·2^k`
+/// (stopping once `⌊C·δ⌋ ≥ N`, a capacity that admits everything) and its
+/// exact overflow counts from one fused [`overflow_curve`] pass.
+struct SeedCurve {
+    grid: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl SeedCurve {
+    fn new(planner: &CapacityPlanner<'_>) -> Self {
+        let n = planner.workload.len() as u64;
+        let floor = planner.capacity_floor();
+        let mut grid = vec![floor];
+        let mut c = floor;
+        while Iops::new(c as f64).requests_within(planner.deadline) < n {
+            c = c.checked_mul(2).expect("capacity search overflow");
+            grid.push(c);
+        }
+        let capacities: Vec<Iops> = grid.iter().map(|&c| Iops::new(c as f64)).collect();
+        let counts = overflow_curve(planner.workload, &capacities, planner.deadline);
+        SeedCurve { grid, counts }
+    }
+
+    /// The bracket for a miss budget: `(Some(lo), hi)` where `lo` is the
+    /// largest grid capacity exceeding the budget and `hi` the smallest
+    /// meeting it, or `(None, floor)` when the domain floor already meets
+    /// it (then `floor` *is* `Cmin`). A meeting `hi` always exists: the
+    /// grid's last capacity admits the whole workload.
+    fn bracket(&self, budget: u64) -> (Option<u64>, u64) {
+        let j = self
+            .counts
+            .iter()
+            .position(|&overflow| overflow <= budget)
+            .expect("seed grid tops out at an admit-all capacity");
+        if j == 0 {
+            (None, self.grid[0])
+        } else {
+            (Some(self.grid[j - 1]), self.grid[j])
+        }
+    }
+}
+
+/// Indices of `fractions` sorted ascending by value. Callers have already
+/// validated the fractions, so the total order is the numeric order.
+fn ascending_order(fractions: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..fractions.len()).collect();
+    order.sort_by(|&a, &b| fractions[a].total_cmp(&fractions[b]));
+    order
 }
 
 /// One entry of an SLA menu: a target and its minimum capacity.
@@ -383,6 +600,114 @@ mod tests {
                     b.cmin.get().to_bits(),
                     "{threads} threads: quotes must be byte-identical"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn try_menu_rejects_bad_fractions_without_panicking() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let pool = WorkerPool::new(4);
+        assert!(matches!(
+            p.try_menu(&[0.9, f64::NAN]),
+            Err(MenuError::NotFinite { index: 1, .. })
+        ));
+        assert!(matches!(
+            p.try_menu(&[0.5, 0.0]),
+            Err(MenuError::OutOfRange { index: 1, .. })
+        ));
+        assert!(matches!(
+            p.try_menu_parallel(&[1.5, 0.9], &pool),
+            Err(MenuError::OutOfRange { index: 0, .. })
+        ));
+        assert!(matches!(
+            p.try_menu_parallel(&[0.9, f64::INFINITY], &pool),
+            Err(MenuError::NotFinite { index: 1, .. })
+        ));
+        // Valid requests still succeed through the fallible path.
+        let quotes = p.try_menu(&[1.0]).expect("valid fraction");
+        assert_eq!(quotes[0].cmin.get(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a finite number")]
+    fn menu_panics_on_nan_with_the_documented_message() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let _ = CapacityPlanner::new(&w, dms(10)).menu(&[f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn menu_parallel_panics_on_out_of_range_with_the_documented_message() {
+        let w = Workload::from_arrivals([SimTime::ZERO]);
+        let pool = WorkerPool::new(2);
+        let _ = CapacityPlanner::new(&w, dms(10)).menu_parallel(&[-0.25], &pool);
+    }
+
+    #[test]
+    fn menu_error_displays_the_offender() {
+        let nan = MenuError::NotFinite {
+            index: 3,
+            value: f64::NAN,
+        };
+        assert_eq!(
+            nan.to_string(),
+            "menu fraction #3 must be a finite number (got NaN)"
+        );
+        let range = MenuError::OutOfRange {
+            index: 0,
+            value: 2.0,
+        };
+        assert_eq!(
+            range.to_string(),
+            "menu fraction #0 must be in (0, 1]: got 2"
+        );
+    }
+
+    #[test]
+    fn parallel_menu_handles_duplicates_wide_menus_and_odd_pools() {
+        // More fractions than workers, duplicates landing in different
+        // worker ranges, and a pool wider than the menu: every shape must
+        // reproduce the serial quotes exactly.
+        let mut arrivals: Vec<SimTime> = (0..300).map(|i| ms(i * 6)).collect();
+        arrivals.extend(vec![ms(450); 40]);
+        arrivals.extend(vec![ms(1800); 15]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let fractions = [0.95, 0.90, 0.95, 1.0, 0.99, 0.90, 0.999, 0.93];
+        let serial = p.menu(&fractions);
+        for threads in [2usize, 3, 5, 16] {
+            let pool = WorkerPool::new(threads);
+            let parallel = p.menu_parallel(&fractions, &pool);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.cmin.get().to_bits(), b.cmin.get().to_bits(), "{threads}");
+                assert_eq!(a.target, b.target, "{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_curve_brackets_every_fraction() {
+        let mut arrivals: Vec<SimTime> = (0..200).map(|i| ms(i * 8)).collect();
+        arrivals.extend(vec![ms(333); 25]);
+        let w = Workload::from_arrivals(arrivals);
+        let p = CapacityPlanner::new(&w, dms(10));
+        let seed = SeedCurve::new(&p);
+        assert_eq!(seed.grid[0], 100, "grid starts at the domain floor");
+        assert!(
+            seed.grid.windows(2).all(|g| g[1] == g[0] * 2),
+            "doubling grid"
+        );
+        for f in [0.9, 0.99, 1.0] {
+            let budget = p.miss_budget(f);
+            let (lo, hi) = seed.bracket(budget);
+            let cmin = p.search_cmin(f, None);
+            assert!(cmin <= hi, "f={f}: Cmin {cmin} above bracket top {hi}");
+            if let Some(lo) = lo {
+                assert!(cmin > lo, "f={f}: Cmin {cmin} not above failing lo {lo}");
+            } else {
+                assert_eq!(cmin, hi, "floor meets: Cmin is the floor");
             }
         }
     }

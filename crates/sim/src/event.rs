@@ -1,4 +1,41 @@
-//! Deterministic time-ordered event queue.
+//! Deterministic time-ordered event queues.
+//!
+//! Three implementations share one ordering contract (documented on
+//! [`EventKind`] and in DESIGN.md §13):
+//!
+//! - [`EventQueue`] — a hierarchical **timing wheel** (64-slot levels,
+//!   nanosecond resolution) with O(1) amortized push/pop. This is the
+//!   engine's workhorse.
+//! - [`BinaryHeapEventQueue`] — the original binary-heap queue, kept as the
+//!   reference implementation ("oracle") that the wheel is differentially
+//!   tested against.
+//! - [`IndexedEventQueue`] — the engine-facing facade: the wheel plus the
+//!   engine's uniqueness bookkeeping (one pending arrival, one pending
+//!   completion per server). Unlike its previous incarnation, `pop` no
+//!   longer scans `O(servers)` slots — cost is independent of fleet size.
+//!
+//! # The wheel
+//!
+//! Keys are nanosecond timestamps. The wheel has 11 levels of 64 slots;
+//! level `l` buckets keys by bits `[6l, 6l+6)`, so 11 levels cover the full
+//! 64-bit key space. An event with key `k` is stored at the *highest* level
+//! whose digit differs from the wheel's virtual time `now` (level 0 if they
+//! share all digits above the lowest six bits). At level 0 a slot holds
+//! exactly one key; `pop` takes the lowest occupied slot (one
+//! `trailing_zeros` per level bitmap) and breaks ties by `(at, kind, seq)`.
+//! When level 0 is empty, the lowest occupied slot of the lowest non-empty
+//! level is *cascaded*: `now` advances to the slot's base time and the
+//! slot's events re-insert at strictly lower levels. Each event cascades at
+//! most 10 times over its lifetime, so push and pop are O(1) amortized with
+//! no comparisons against unrelated events.
+//!
+//! Events pushed with a timestamp earlier than `now` (the time of the last
+//! pop) are scheduled *at* `now` — they fire immediately, which is the only
+//! consistent reading of a past deadline. Their reported [`Event::at`] is
+//! preserved, and ties against genuine `now` events are still broken by
+//! `(at, kind, seq)`, which keeps the pop sequence identical to the binary
+//! heap's for every schedule the engine can produce (see the equivalence
+//! tests and `tests/wheel_props.rs`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -10,7 +47,9 @@ use gqos_trace::SimTime;
 /// Ordering at equal timestamps is significant and fixed: completions are
 /// processed before retries, and retries before arrivals, so that a request
 /// arriving exactly when the server frees up observes the freed queue slot
-/// (the convention the paper's queue-length argument assumes).
+/// (the convention the paper's queue-length argument assumes). Within a
+/// kind, the lower server (or workload) index fires first; equal events
+/// fire in insertion order.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub enum EventKind {
     /// A server finishes its in-flight request.
@@ -40,8 +79,47 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// Bits per wheel level: 64 slots each.
+const BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Levels needed so `LEVELS * BITS >= 64` covers the whole key space.
+const LEVELS: usize = 11;
+
+/// A stored event: placement key (the clamped timestamp), original
+/// timestamp, kind, and insertion sequence. The derived ordering — `(key,
+/// at, kind, seq)` — is the pop order.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Debug)]
+struct Entry {
+    key: u64,
+    at: SimTime,
+    kind: EventKind,
+    seq: u64,
+}
+
+/// The wheel level and slot that hold `key` when virtual time is `now`.
+///
+/// Level = the highest 6-bit digit where `key` and `now` differ (0 when
+/// they agree above the low 6 bits); slot = that digit of `key`.
+#[inline]
+fn placement(now: u64, key: u64) -> (usize, usize) {
+    debug_assert!(key >= now, "wheel keys are clamped to now");
+    let diff = key ^ now;
+    let level = if diff == 0 {
+        0
+    } else {
+        (63 - diff.leading_zeros() as usize) / BITS
+    };
+    let slot = ((key >> (BITS * level)) & (SLOTS as u64 - 1)) as usize;
+    (level, slot)
+}
+
 /// A priority queue of events ordered by time, then by [`EventKind`], then
 /// by insertion order — fully deterministic.
+///
+/// Implemented as a hierarchical timing wheel (see the module docs): push
+/// and pop are O(1) amortized regardless of queue population, and pop order
+/// is bit-identical to [`BinaryHeapEventQueue`].
 ///
 /// # Examples
 ///
@@ -54,16 +132,166 @@ pub struct Event {
 /// q.push(Event { at: SimTime::from_secs(1), kind: EventKind::Arrival { index: 0 } });
 /// assert_eq!(q.pop().unwrap().at, SimTime::from_secs(1));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, EventKind, u64)>>,
+    /// `LEVELS * SLOTS` buckets, row-major by level.
+    slots: Vec<Vec<Entry>>,
+    /// One occupancy bitmap per level; bit `s` set iff slot `s` is
+    /// non-empty.
+    occupied: [u64; LEVELS],
+    /// Virtual time: the placement key of the last popped event. Keys of
+    /// incoming events are clamped to at least `now`.
+    now: u64,
     seq: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue {
+            slots: vec![Vec::new(); LEVELS * SLOTS],
+            occupied: [0; LEVELS],
+            now: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Empties the queue and rewinds virtual time to zero, keeping the
+    /// slot buffers for reuse.
+    pub fn clear(&mut self) {
+        for (level, bits) in self.occupied.iter_mut().enumerate() {
+            let mut b = *bits;
+            while b != 0 {
+                let slot = b.trailing_zeros() as usize;
+                self.slots[level * SLOTS + slot].clear();
+                b &= b - 1;
+            }
+            *bits = 0;
+        }
+        self.now = 0;
+        self.seq = 0;
+        self.len = 0;
+    }
+
+    /// Schedules an event. Timestamps earlier than the last popped event
+    /// fire immediately (see the module docs).
+    pub fn push(&mut self, event: Event) {
+        let key = event.at.as_nanos().max(self.now);
+        let (level, slot) = placement(self.now, key);
+        self.slots[level * SLOTS + slot].push(Entry {
+            key,
+            at: event.at,
+            kind: event.kind,
+            seq: self.seq,
+        });
+        self.occupied[level] |= 1 << slot;
+        self.seq += 1;
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        loop {
+            let level = self.occupied.iter().position(|&b| b != 0)?;
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                let cell = &mut self.slots[slot];
+                let best = cell
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, entry)| *entry)
+                    .map(|(i, _)| i)
+                    .expect("occupancy bit set on an empty slot");
+                let entry = cell.swap_remove(best);
+                if cell.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.now = entry.key;
+                self.len -= 1;
+                return Some(Event {
+                    at: entry.at,
+                    kind: entry.kind,
+                });
+            }
+            // Cascade: advance `now` to the slot's base time and re-insert
+            // its events; each lands at a strictly lower level.
+            let shift = BITS * (level + 1);
+            let upper = if shift >= 64 {
+                0
+            } else {
+                (self.now >> shift) << shift
+            };
+            self.now = upper | ((slot as u64) << (BITS * level));
+            let index = level * SLOTS + slot;
+            let mut batch = std::mem::take(&mut self.slots[index]);
+            self.occupied[level] &= !(1u64 << slot);
+            for &entry in &batch {
+                let (l, s) = placement(self.now, entry.key);
+                debug_assert!(l < level, "cascade must move events downward");
+                self.slots[l * SLOTS + s].push(entry);
+                self.occupied[l] |= 1 << s;
+            }
+            batch.clear();
+            self.slots[index] = batch;
+        }
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let level = self.occupied.iter().position(|&b| b != 0)?;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        // The lowest occupied slot of the lowest non-empty level contains
+        // the global minimum; every other occupied slot holds strictly
+        // larger keys.
+        self.slots[level * SLOTS + slot].iter().min().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The original binary-heap event queue, kept as the reference
+/// implementation the timing wheel is differentially tested against.
+///
+/// Same API and pop order as [`EventQueue`]; O(log n) push/pop. Prefer
+/// [`EventQueue`] everywhere except when an independent oracle is the
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_sim::{BinaryHeapEventQueue, Event, EventKind};
+/// use gqos_trace::SimTime;
+///
+/// let mut q = BinaryHeapEventQueue::new();
+/// q.push(Event { at: SimTime::from_secs(5), kind: EventKind::Retry { server: 0 } });
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BinaryHeapEventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, EventKind, u64)>>,
+    seq: u64,
+}
+
+impl BinaryHeapEventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapEventQueue::default()
     }
 
     /// Schedules an event.
@@ -95,23 +323,26 @@ impl EventQueue {
     }
 }
 
-/// The engine's event queue, specialised to the bounded event population a
-/// simulation actually produces:
+/// The engine's event queue: the timing wheel plus the engine's uniqueness
+/// invariants —
 ///
 /// - at most **one pending arrival** (the engine schedules arrival `i + 1`
 ///   only when it processes arrival `i`),
 /// - at most **one pending completion per server** (a server holds one
 ///   in-flight request),
-/// - a small number of **stackable retries per server** (a
-///   non-work-conserving scheduler may re-announce an eligibility time).
+/// - any number of **stackable retries per server** (a non-work-conserving
+///   scheduler may re-announce an eligibility time).
 ///
-/// Events therefore live in fixed per-server slots instead of a binary
-/// heap: `push` is a store, `pop` is a scan over `O(servers)` slots with no
-/// allocation or sift, and clearing the queue for the next run reuses every
-/// buffer. Pop order is identical to [`EventQueue`] — time, then
-/// [`EventKind`] (completions before retries before arrivals, lower server
-/// index first), then insertion order — which the equivalence test below
-/// checks against the heap implementation on randomised schedules.
+/// Violations of the uniqueness invariants are engine bookkeeping bugs and
+/// panic at `push`. Pop order is identical to [`EventQueue`] /
+/// [`BinaryHeapEventQueue`] — time, then [`EventKind`] (completions before
+/// retries before arrivals, lower server index first), then insertion
+/// order — which the equivalence tests check on randomised schedules.
+///
+/// Earlier revisions stored events in per-server slots and scanned all of
+/// them on every pop — `O(servers)` per pop, quadratic over a fleet-scale
+/// fault sweep. The wheel makes pop cost independent of the server count
+/// (`event/indexed_pop_*` in `perf_report` tracks this).
 ///
 /// # Examples
 ///
@@ -126,34 +357,28 @@ impl EventQueue {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct IndexedEventQueue {
-    /// Pending completion per server.
-    completions: Vec<Option<SimTime>>,
-    /// Pending retries per server, in insertion order.
-    retries: Vec<Vec<SimTime>>,
-    /// The single pending arrival, if any.
-    arrival: Option<(SimTime, usize)>,
-    len: usize,
+    wheel: EventQueue,
+    /// Per-server "a completion is pending" flag, for the uniqueness panic.
+    completion_pending: Vec<bool>,
+    /// Whether the single arrival slot is taken.
+    arrival_pending: bool,
 }
 
 impl IndexedEventQueue {
     /// Creates an empty queue with slots for `servers` servers.
     pub fn new(servers: usize) -> Self {
         IndexedEventQueue {
-            completions: vec![None; servers],
-            retries: vec![Vec::new(); servers],
-            arrival: None,
-            len: 0,
+            wheel: EventQueue::new(),
+            completion_pending: vec![false; servers],
+            arrival_pending: false,
         }
     }
 
     /// Empties the queue, keeping its buffers for reuse.
     pub fn clear(&mut self) {
-        self.completions.fill(None);
-        for r in &mut self.retries {
-            r.clear();
-        }
-        self.arrival = None;
-        self.len = 0;
+        self.wheel.clear();
+        self.completion_pending.fill(false);
+        self.arrival_pending = false;
     }
 
     /// Schedules an event.
@@ -166,92 +391,44 @@ impl IndexedEventQueue {
     pub fn push(&mut self, event: Event) {
         match event.kind {
             EventKind::Completion { server } => {
-                let slot = &mut self.completions[server];
-                assert!(slot.is_none(), "server {server} already has a completion");
-                *slot = Some(event.at);
+                let pending = &mut self.completion_pending[server];
+                assert!(!*pending, "server {server} already has a completion");
+                *pending = true;
             }
-            EventKind::Retry { server } => self.retries[server].push(event.at),
-            EventKind::Arrival { index } => {
-                assert!(self.arrival.is_none(), "an arrival is already pending");
-                self.arrival = Some((event.at, index));
+            EventKind::Retry { server } => {
+                assert!(
+                    server < self.completion_pending.len(),
+                    "retry for unknown server {server}"
+                );
+            }
+            EventKind::Arrival { .. } => {
+                assert!(!self.arrival_pending, "an arrival is already pending");
+                self.arrival_pending = true;
             }
         }
-        self.len += 1;
+        self.wheel.push(event);
     }
 
     /// Removes and returns the earliest event (see the type docs for the
     /// tie-break order).
     pub fn pop(&mut self) -> Option<Event> {
-        // Earliest completion, lowest server index first.
-        let comp = self
-            .completions
-            .iter()
-            .enumerate()
-            .filter_map(|(s, t)| t.map(|t| (t, s)))
-            .min();
-        // Earliest retry: lowest server index breaks time ties (matching
-        // `EventKind`'s derived order), first-inserted breaks ties within
-        // one server.
-        let mut retry: Option<(SimTime, usize, usize)> = None;
-        for (s, times) in self.retries.iter().enumerate() {
-            for (i, &t) in times.iter().enumerate() {
-                if retry.is_none_or(|(bt, _, _)| t < bt) {
-                    retry = Some((t, s, i));
-                }
-            }
+        let event = self.wheel.pop()?;
+        match event.kind {
+            EventKind::Completion { server } => self.completion_pending[server] = false,
+            EventKind::Retry { .. } => {}
+            EventKind::Arrival { .. } => self.arrival_pending = false,
         }
-
-        // Completions beat retries beat arrivals at equal times.
-        let mut best_time = None;
-        if let Some((t, _)) = comp {
-            best_time = Some(t);
-        }
-        if let Some((t, _, _)) = retry {
-            if best_time.is_none_or(|bt| t < bt) {
-                best_time = Some(t);
-            }
-        }
-        if let Some((t, _)) = self.arrival {
-            if best_time.is_none_or(|bt| t < bt) {
-                best_time = Some(t);
-            }
-        }
-        let at = best_time?;
-        self.len -= 1;
-
-        if let Some((t, server)) = comp {
-            if t == at {
-                self.completions[server] = None;
-                return Some(Event {
-                    at,
-                    kind: EventKind::Completion { server },
-                });
-            }
-        }
-        if let Some((t, server, i)) = retry {
-            if t == at {
-                self.retries[server].remove(i);
-                return Some(Event {
-                    at,
-                    kind: EventKind::Retry { server },
-                });
-            }
-        }
-        let (_, index) = self.arrival.take().expect("arrival must be the minimum");
-        Some(Event {
-            at,
-            kind: EventKind::Arrival { index },
-        })
+        Some(event)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.len
+        self.wheel.len()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.wheel.is_empty()
     }
 }
 
@@ -325,6 +502,65 @@ mod tests {
         }
     }
 
+    /// Nanosecond-adjacent and hours-apart events exercise every wheel
+    /// level; order must still be exact.
+    #[test]
+    fn wheel_orders_across_level_boundaries() {
+        let mut q = EventQueue::new();
+        let times = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 30,
+            (1 << 30) + 1,
+            3_600_000_000_000, // one hour in ns
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        // Push in reverse so insertion order never matches time order.
+        for (i, &t) in times.iter().rev().enumerate() {
+            q.push(Event {
+                at: SimTime::from_nanos(t),
+                kind: EventKind::Arrival { index: i },
+            });
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos())
+            .collect();
+        assert_eq!(popped, times);
+    }
+
+    /// A push earlier than the last pop fires immediately, before anything
+    /// later, and still reports its original timestamp.
+    #[test]
+    fn wheel_clamps_past_pushes_to_the_present() {
+        let mut q = EventQueue::new();
+        q.push(at(5, EventKind::Completion { server: 0 }));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(5));
+        q.push(at(7, EventKind::Arrival { index: 0 }));
+        q.push(at(2, EventKind::Retry { server: 0 }));
+        let first = q.pop().unwrap();
+        assert_eq!(first.kind, EventKind::Retry { server: 0 });
+        assert_eq!(first.at, SimTime::from_secs(2));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn wheel_clear_rewinds_time_and_reuses_buffers() {
+        let mut q = EventQueue::new();
+        q.push(at(100, EventKind::Arrival { index: 0 }));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(100));
+        q.clear();
+        assert!(q.is_empty());
+        // After clear the wheel accepts (and does not clamp) early times.
+        q.push(at(1, EventKind::Arrival { index: 1 }));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(1));
+    }
+
     #[test]
     fn indexed_queue_orders_kinds_at_equal_time() {
         let mut q = IndexedEventQueue::new(2);
@@ -369,6 +605,21 @@ mod tests {
         q.push(at(2, EventKind::Completion { server: 0 }));
     }
 
+    #[test]
+    #[should_panic(expected = "an arrival is already pending")]
+    fn indexed_queue_rejects_double_arrival() {
+        let mut q = IndexedEventQueue::new(1);
+        q.push(at(1, EventKind::Arrival { index: 0 }));
+        q.push(at(2, EventKind::Arrival { index: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown server")]
+    fn indexed_queue_rejects_out_of_range_retry() {
+        let mut q = IndexedEventQueue::new(2);
+        q.push(at(1, EventKind::Retry { server: 2 }));
+    }
+
     /// On any engine-feasible schedule (one arrival slot, one completion
     /// slot per server, stackable retries) the indexed queue must pop in
     /// exactly the heap queue's order.
@@ -384,7 +635,7 @@ mod tests {
         };
         for servers in 1..4usize {
             for _round in 0..200 {
-                let mut heap = EventQueue::new();
+                let mut heap = BinaryHeapEventQueue::new();
                 let mut indexed = IndexedEventQueue::new(servers);
                 let mut arrival_used = false;
                 let mut completion_used = vec![false; servers];

@@ -50,7 +50,7 @@ mod streaming;
 
 pub use closed::{closed_loop, ClosedLoopConfig};
 pub use engine::{simulate, Simulation};
-pub use event::{Event, EventKind, EventQueue, IndexedEventQueue};
+pub use event::{BinaryHeapEventQueue, Event, EventKind, EventQueue, IndexedEventQueue};
 pub use histogram::LatencyHistogram;
 pub use metrics::{CompletionRecord, ResponseStats, RunReport};
 pub use scheduler::{Dispatch, FcfsScheduler, Scheduler, ServiceClass};
