@@ -12,18 +12,28 @@
 //!
 //! Usage: `cargo run --release -p gqos-bench --bin perf_report --
 //!         [--out BENCH_core.json] [--samples 9] [--span-secs 60]
-//!         [--threads 4] [--assert-parallel-speedup <ratio>]`
+//!         [--threads 4] [--assert-parallel-speedup <ratio>]
+//!         [--assert-fleet-place-ms <ms>] [--assert-fleet-speedup <ratio>]`
 //!
 //! With `--assert-parallel-speedup 0.75` the run fails unless
 //! `planner/menu_parallel_5` comes in at or under 0.75× of
 //! `planner/menu_serial_5` — the CI guard against the parallel menu
 //! regressing back to a non-speedup.
+//!
+//! The fleet rows carry their own guards: `fleet/quote_cache_hit` must
+//! always cost at most 5% of `fleet/quote_cold` (asserted on every run —
+//! the cache either pays or the build fails), while
+//! `--assert-fleet-place-ms 1000` and `--assert-fleet-speedup 20` gate
+//! the wall-clock ceiling of `fleet/place_1000` and the cached-vs-naive
+//! packer ratio for CI.
 
 use std::time::Instant;
 
+use gqos_bench::experiments::fleet;
+use gqos_bench::ExpConfig;
 use gqos_core::{
     decompose, overflow_count, overflow_curve, within_miss_budget, CapacityPlanner,
-    DecomposeScratch, FcfsScheduler, RttClassifier,
+    DecomposeScratch, FcfsScheduler, FleetPlacer, QosTarget, QuoteCache, RttClassifier,
 };
 use gqos_parallel::WorkerPool;
 use gqos_sim::{simulate, Event, EventKind, FixedRateServer, IndexedEventQueue, ServiceClass};
@@ -110,20 +120,22 @@ fn main() {
     let samples = parse_flag(&args, "--samples").unwrap_or(9) as usize;
     let span = SimDuration::from_secs(parse_flag(&args, "--span-secs").unwrap_or(60));
     let threads = parse_flag(&args, "--threads").unwrap_or(4) as usize;
-    let speedup_bound: Option<f64> = args
-        .iter()
-        .position(|a| a == "--assert-parallel-speedup")
-        .map(|i| {
+    let parse_ratio = |flag: &'static str| -> Option<f64> {
+        args.iter().position(|a| a == flag).map(|i| {
             let value = args.get(i + 1).unwrap_or_else(|| {
-                gqos_bench::exit_usage("--assert-parallel-speedup requires a ratio");
+                gqos_bench::exit_usage(&format!("{flag} requires a ratio"));
             });
             match value.parse::<f64>() {
                 Ok(v) if v.is_finite() && v > 0.0 => v,
                 _ => gqos_bench::exit_usage(&format!(
-                    "--assert-parallel-speedup value must be a positive ratio (got `{value}`)"
+                    "{flag} value must be a positive ratio (got `{value}`)"
                 )),
             }
-        });
+        })
+    };
+    let speedup_bound = parse_ratio("--assert-parallel-speedup");
+    let fleet_place_ceiling_ms = parse_flag(&args, "--assert-fleet-place-ms");
+    let fleet_speedup_floor = parse_ratio("--assert-fleet-speedup");
 
     let openmail = TraceProfile::OpenMail.generate(span, 1);
     let websearch = TraceProfile::WebSearch.generate(span, 1);
@@ -342,6 +354,125 @@ fn main() {
         "  sim throughput: {:.2}M simulated requests/sec",
         1e3 / ns_per_request
     );
+
+    // --- Fleet placement --------------------------------------------------
+    // The headline scenario of `fleet_bench`, as trended records: pack
+    // 1000 tenants onto 64 servers from a cold quote cache, re-place one
+    // degraded server against the warm cache, and price a single quote
+    // both cold (full planner search) and memoized (cache hit).
+    // Same short per-tenant traces as the `fleet_bench` headline (and
+    // independent of `--span-secs`): the scenario is 1000 tenants, not
+    // 1000 long traces.
+    let fleet_cfg = ExpConfig {
+        span: SimDuration::from_secs(10),
+        threads,
+        ..ExpConfig::default()
+    };
+    let fleet_deadline = SimDuration::from_millis(fleet::FLEET_DEADLINE_MS);
+    let fleet_target = QosTarget::new(fleet::FLEET_FRACTION, fleet_deadline);
+    let fleet_tenants = fleet::fleet_tenants(&fleet_cfg, 1000);
+    let fleet_capacity = fleet::size_capacity(&fleet_tenants, 64, fleet_target);
+    let fleet_placer = FleetPlacer::new(fleet_target, Iops::new(fleet_capacity as f64));
+
+    let tenant0 = &fleet_tenants[0];
+    let quote_cold_ns = measure(samples, 5, || {
+        CapacityPlanner::new(tenant0.workload(), fleet_deadline).min_capacity(fleet::FLEET_FRACTION)
+    });
+    push(
+        "fleet/quote_cold",
+        quote_cold_ns,
+        tenant0.workload().len() as u64,
+    );
+    let mut fleet_cache = QuoteCache::new(fleet_deadline);
+    let _ = fleet_cache.quote(tenant0, fleet::FLEET_FRACTION);
+    let quote_hit_ns = measure(samples, 100_000, || {
+        fleet_cache.quote(tenant0, fleet::FLEET_FRACTION)
+    });
+    push("fleet/quote_cache_hit", quote_hit_ns, 1);
+    println!(
+        "  quote cache: a hit costs {:.5}x of the cold search it memoizes",
+        quote_hit_ns / quote_cold_ns
+    );
+    assert!(
+        quote_hit_ns <= 0.05 * quote_cold_ns,
+        "fleet/quote_cache_hit ({quote_hit_ns:.0} ns) exceeded 5% of \
+         fleet/quote_cold ({quote_cold_ns:.0} ns) — the quote cache stopped paying"
+    );
+
+    let place_1000_ns = measure(samples, 1, || {
+        let mut cache = QuoteCache::new(fleet_deadline);
+        fleet_placer
+            .pack(&fleet_tenants, 64, &mut cache, &pool)
+            .expect("64 servers, matching deadline")
+            .servers_used()
+    });
+    push(
+        "fleet/place_1000",
+        place_1000_ns,
+        fleet_tenants.len() as u64,
+    );
+    if let Some(ceiling_ms) = fleet_place_ceiling_ms {
+        assert!(
+            place_1000_ns <= ceiling_ms as f64 * 1e6,
+            "fleet/place_1000 ({:.1} ms) exceeded the {ceiling_ms} ms ceiling",
+            place_1000_ns / 1e6
+        );
+        println!("  fleet place assertion: place_1000 <= {ceiling_ms} ms ok");
+    }
+
+    let placement = fleet_placer
+        .pack(&fleet_tenants, 64, &mut fleet_cache, &pool)
+        .expect("64 servers, matching deadline");
+    let degraded_node = fleet::busiest_node(&placement);
+    let residents = placement.bins()[degraded_node].len() as u64;
+    let replan_ns = measure(samples, 1, || {
+        let mut p = placement.clone();
+        fleet_placer
+            .replan_degraded(
+                &mut p,
+                &fleet_tenants,
+                degraded_node,
+                0.5,
+                &mut fleet_cache,
+                &pool,
+            )
+            .expect("valid node and factor")
+            .placed
+    });
+    push("fleet/replan_one_node", replan_ns, residents);
+
+    // The like-for-like baseline on a reduced cell: every naive verdict
+    // and quote is a from-scratch cold search, the cached side reuses the
+    // headline-warmed cache.
+    let small = &fleet_tenants[..128];
+    let naive_ns = measure(samples, 1, || {
+        fleet_placer
+            .pack_naive(small, 8)
+            .expect("8 servers")
+            .servers_used()
+    });
+    push("fleet/naive_pack_128", naive_ns, small.len() as u64);
+    let cached_ns = measure(samples, 1, || {
+        fleet_placer
+            .pack(small, 8, &mut fleet_cache, &pool)
+            .expect("8 servers")
+            .servers_used()
+    });
+    push("fleet/cached_pack_128", cached_ns, small.len() as u64);
+    println!(
+        "  fleet speedup: cached packer is {:.1}x vs the cold-costing baseline \
+         (128 tenants, 8 servers)",
+        naive_ns / cached_ns
+    );
+    if let Some(floor) = fleet_speedup_floor {
+        assert!(
+            naive_ns >= floor * cached_ns,
+            "cached packer is only {:.1}x faster than the cold-costing baseline \
+             (floor {floor}x) — the memoized engine regressed",
+            naive_ns / cached_ns
+        );
+        println!("  fleet speedup assertion: cached >= {floor}x naive ok");
+    }
 
     // --- JSON ------------------------------------------------------------
     let fused = records

@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod run_report;
 pub mod stream;
 pub mod table1;

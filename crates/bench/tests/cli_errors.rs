@@ -23,6 +23,7 @@ const EXP_CONFIG_BINS: &[(&str, &str)] = &[
     ("fig6_schedulers", env!("CARGO_BIN_EXE_fig6_schedulers")),
     ("fig7_same_mux", env!("CARGO_BIN_EXE_fig7_same_mux")),
     ("fig8_diff_mux", env!("CARGO_BIN_EXE_fig8_diff_mux")),
+    ("fleet_bench", env!("CARGO_BIN_EXE_fleet_bench")),
     (
         "multitenant_isolation",
         env!("CARGO_BIN_EXE_multitenant_isolation"),

@@ -152,6 +152,66 @@ fn run_report_serial_parallel_identical() {
     let _ = fs::remove_dir_all(dir);
 }
 
+/// The fleet placement experiment joins the contract: its report and
+/// `fleet_placement.csv` must be byte-identical at any thread count —
+/// packing order, bin retirement, and replans are all pool-independent.
+#[test]
+fn fleet_serial_parallel_identical() {
+    use gqos_bench::experiments::fleet;
+    assert_equivalent("fleet", "fleet_placement", fleet::report);
+}
+
+/// A pinned-seed degrade-and-replan reproduces exactly: same assignments,
+/// same consolidated quotes, same unplaced set — across reruns and across
+/// 1/2/4/8 worker threads.
+#[test]
+fn fleet_degrade_replan_reproduces_exactly() {
+    use gqos_bench::experiments::fleet;
+    use gqos_core::{FleetPlacer, QosTarget, QuoteCache, TenantId};
+    use gqos_parallel::WorkerPool;
+    use gqos_trace::Iops;
+
+    let cfg = cfg(1, "unused");
+    let deadline = SimDuration::from_millis(fleet::FLEET_DEADLINE_MS);
+    let target = QosTarget::new(fleet::FLEET_FRACTION, deadline);
+    let tenants = fleet::fleet_tenants(&cfg, 64);
+    let servers = 12;
+    let capacity = fleet::size_capacity(&tenants, servers, target);
+    let placer = FleetPlacer::new(target, Iops::new(capacity as f64));
+
+    type Fingerprint = (usize, Vec<Option<usize>>, Vec<u64>, Vec<TenantId>);
+    let run = |threads: usize| -> Fingerprint {
+        let pool = WorkerPool::new(threads);
+        let mut cache = QuoteCache::new(deadline);
+        let mut placement = placer
+            .pack(&tenants, servers, &mut cache, &pool)
+            .expect("pack");
+        let node = fleet::busiest_node(&placement);
+        placer
+            .replan_degraded(&mut placement, &tenants, node, 0.6, &mut cache, &pool)
+            .expect("replan");
+        (
+            node,
+            tenants
+                .iter()
+                .map(|t| placement.server_of(t.id()))
+                .collect(),
+            placement.bins().iter().map(|b| b.quote_int()).collect(),
+            placement.unplaced().to_vec(),
+        )
+    };
+
+    let serial = run(1);
+    assert_eq!(serial, run(1), "degrade-and-replan is not reproducible");
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "degrade-and-replan diverged at {threads} threads"
+        );
+    }
+}
+
 /// Every policy's audit must hold on the parallel path too: replayed miss
 /// fractions equal aggregates, lifecycles are clean, merges bit-identical.
 #[test]

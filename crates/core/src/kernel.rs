@@ -176,11 +176,12 @@ impl RttState {
     }
 }
 
-/// Counts RTT overflow at one capacity — a single allocation-free pass.
-pub(crate) fn scan_overflow(workload: &Workload, p: RttParams) -> u64 {
+/// Counts RTT overflow at one capacity — a single allocation-free pass
+/// over a sorted arrival column.
+pub(crate) fn scan_overflow(col: &[u64], p: RttParams) -> u64 {
     let mut state = RttState::default();
     let mut overflow = 0u64;
-    for &arrival in workload.arrival_column().nanos() {
+    for &arrival in col {
         overflow += u64::from(!state.admit(p, arrival));
     }
     overflow
@@ -188,15 +189,109 @@ pub(crate) fn scan_overflow(workload: &Workload, p: RttParams) -> u64 {
 
 /// Counting budget probe at one capacity: `true` iff RTT diverts at most
 /// `budget` requests. Aborts the scan as soon as the budget is exceeded.
-pub(crate) fn scan_within_budget(workload: &Workload, p: RttParams, budget: u64) -> bool {
+pub(crate) fn scan_within_budget(col: &[u64], p: RttParams, budget: u64) -> bool {
     let mut state = RttState::default();
     let mut overflow = 0u64;
-    for &arrival in workload.arrival_column().nanos() {
+    for &arrival in col {
         if !state.admit(p, arrival) {
             overflow += 1;
             if overflow > budget {
                 return false;
             }
+        }
+    }
+    true
+}
+
+/// Budget probe over the *merge* of two sorted columns, without
+/// materialising the merged column: walks `a` and `b` with two cursors,
+/// always consuming the smaller head. Equal instants are interchangeable —
+/// [`RttState::admit`] depends only on the arrival value, so any tie order
+/// yields the same verdict as scanning the materialised merge.
+///
+/// This is the fleet placer's "tenant T joins server S" feasibility probe:
+/// `a` is the server's resident merged column, `b` the candidate tenant's,
+/// and the probe costs zero allocations and aborts as soon as `budget` is
+/// exceeded. Feeds on the work-recurrence lane when the exactness guard
+/// admits it (the common case), else the saturating scalar scan — both
+/// bit-equal to [`within_miss_budget`](crate::rtt::within_miss_budget) on
+/// the merged workload, pinned by `merged_probe_matches_materialised` and
+/// the `fleet_props` differential suite.
+pub(crate) fn merged_within_budget(
+    a: &[u64],
+    b: &[u64],
+    capacity: Iops,
+    deadline: SimDuration,
+    budget: u64,
+) -> bool {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let n = (a.len() + b.len()) as u64;
+    let last = a
+        .last()
+        .copied()
+        .unwrap_or(0)
+        .max(b.last().copied().unwrap_or(0));
+    match lane_form(capacity, deadline, last) {
+        LaneForm::Degenerate => n <= budget,
+        LaneForm::Work(wp) => {
+            let (mut w, mut miss, mut prev) = (0u64, 0u64, 0u64);
+            let mut scan = |arrival: u64| {
+                let gap = arrival - prev;
+                prev = arrival;
+                let drained = w.saturating_sub(gap);
+                if drained <= wp.admit_cap_ns {
+                    w = drained + wp.service_ns;
+                    true
+                } else {
+                    w = drained;
+                    miss += 1;
+                    miss <= budget
+                }
+            };
+            merge_scan(a, b, &mut scan)
+        }
+        LaneForm::Scalar(p) => {
+            let mut state = RttState::default();
+            let mut miss = 0u64;
+            let mut scan = |arrival: u64| {
+                if state.admit(p, arrival) {
+                    true
+                } else {
+                    miss += 1;
+                    miss <= budget
+                }
+            };
+            merge_scan(a, b, &mut scan)
+        }
+    }
+}
+
+/// Streams the merge of two sorted columns into `visit` in ascending
+/// order, stopping early (returning `false`) when `visit` does.
+fn merge_scan(a: &[u64], b: &[u64], visit: &mut impl FnMut(u64) -> bool) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let next = if a[i] <= b[j] {
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        if !visit(next) {
+            return false;
+        }
+    }
+    for &v in &a[i..] {
+        if !visit(v) {
+            return false;
+        }
+    }
+    for &v in &b[j..] {
+        if !visit(v) {
+            return false;
         }
     }
     true
@@ -480,16 +575,32 @@ fn lane_form(capacity: Iops, deadline: SimDuration, last_arrival_ns: u64) -> Lan
 ///
 /// Panics if `deadline` is zero.
 pub fn overflow_curve(workload: &Workload, capacities: &[Iops], deadline: SimDuration) -> Vec<u64> {
+    overflow_curve_ns(workload.arrival_column().nanos(), capacities, deadline)
+}
+
+/// [`overflow_curve`] over a raw sorted arrival column (nanoseconds). The
+/// fleet placer's incremental consolidation kernel maintains per-server
+/// merged columns directly and probes them here without materialising a
+/// [`Workload`] per probe.
+///
+/// The column must be sorted ascending (an [`ArrivalColumn`] invariant;
+/// merged server columns preserve it by construction).
+///
+/// [`ArrivalColumn`]: gqos_trace::ArrivalColumn
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero.
+pub fn overflow_curve_ns(col: &[u64], capacities: &[Iops], deadline: SimDuration) -> Vec<u64> {
     assert!(!deadline.is_zero(), "deadline must be positive");
-    let n = workload.len() as u64;
-    let col = workload.arrival_column().nanos();
+    let n = col.len() as u64;
     let last_arrival = col.last().copied().unwrap_or(0);
     let mut overflow = vec![0u64; capacities.len()];
     let mut fast: Vec<(usize, WorkParams)> = Vec::with_capacity(capacities.len());
     for (i, &c) in capacities.iter().enumerate() {
         match lane_form(c, deadline, last_arrival) {
             LaneForm::Work(wp) => fast.push((i, wp)),
-            LaneForm::Scalar(p) => overflow[i] = scan_overflow(workload, p),
+            LaneForm::Scalar(p) => overflow[i] = scan_overflow(col, p),
             LaneForm::Degenerate => overflow[i] = n,
         }
     }
@@ -537,16 +648,26 @@ pub(crate) fn within_miss_budget_multi(
     probes: &[(Iops, u64)],
     deadline: SimDuration,
 ) -> Vec<bool> {
+    within_miss_budget_multi_ns(workload.arrival_column().nanos(), probes, deadline)
+}
+
+/// [`within_miss_budget_multi`] over a raw sorted arrival column — the
+/// form the planner's wide bisection and the fleet placer's consolidated
+/// quote resolution share.
+pub(crate) fn within_miss_budget_multi_ns(
+    col: &[u64],
+    probes: &[(Iops, u64)],
+    deadline: SimDuration,
+) -> Vec<bool> {
     assert!(!deadline.is_zero(), "deadline must be positive");
-    let n = workload.len() as u64;
-    let col = workload.arrival_column().nanos();
+    let n = col.len() as u64;
     let last_arrival = col.last().copied().unwrap_or(0);
     let mut verdicts = vec![false; probes.len()];
     let mut fast: Vec<(usize, WorkParams, u64)> = Vec::with_capacity(probes.len());
     for (i, &(c, budget)) in probes.iter().enumerate() {
         match lane_form(c, deadline, last_arrival) {
             LaneForm::Work(wp) => fast.push((i, wp, budget)),
-            LaneForm::Scalar(p) => verdicts[i] = scan_within_budget(workload, p, budget),
+            LaneForm::Scalar(p) => verdicts[i] = scan_within_budget(col, p, budget),
             LaneForm::Degenerate => verdicts[i] = n <= budget,
         }
     }
@@ -578,6 +699,29 @@ pub(crate) fn within_miss_budget_multi(
         verdicts[i] = work_budget_lane(col, wp, b);
     }
     verdicts
+}
+
+/// Single budgeted feasibility probe over a raw sorted arrival column:
+/// `within_miss_budget` for callers that hold a column, not a
+/// [`Workload`]. Degenerate capacities (`⌊C·δ⌋ = 0`) are feasible only
+/// when the whole column fits the budget, matching [`overflow_curve_ns`].
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero.
+pub(crate) fn within_miss_budget_ns(
+    col: &[u64],
+    capacity: Iops,
+    deadline: SimDuration,
+    budget: u64,
+) -> bool {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    let last = col.last().copied().unwrap_or(0);
+    match lane_form(capacity, deadline, last) {
+        LaneForm::Degenerate => col.len() as u64 <= budget,
+        LaneForm::Work(wp) => work_budget_lane(col, wp, budget),
+        LaneForm::Scalar(p) => scan_within_budget(col, p, budget),
+    }
 }
 
 /// Fused budgeted feasibility probe over a capacity grid at one shared
@@ -862,7 +1006,7 @@ mod tests {
         let p = RttParams::try_new(Iops::new(1e30), SimDuration::from_secs(10))
             .expect("saturated bound is not degenerate");
         assert_eq!(p.max_q1, u64::MAX);
-        assert_eq!(scan_overflow(&w, p), 0);
+        assert_eq!(scan_overflow(w.arrival_column().nanos(), p), 0);
         assert_eq!(
             overflow_curve(&w, &[Iops::new(1e30)], SimDuration::from_secs(10)),
             vec![0]
@@ -882,7 +1026,11 @@ mod tests {
         let fused = overflow_curve(&w, &grid, dms(20));
         for (i, &c) in grid.iter().enumerate() {
             let p = RttParams::new(c, dms(20));
-            assert_eq!(fused[i], scan_overflow(&w, p), "C={c}");
+            assert_eq!(
+                fused[i],
+                scan_overflow(w.arrival_column().nanos(), p),
+                "C={c}"
+            );
         }
     }
 
@@ -923,6 +1071,55 @@ mod tests {
     }
 
     #[test]
+    fn merged_probe_matches_materialised() {
+        // The streamed two-cursor probe must agree with the scalar budget
+        // probe on the materialised merge — including tie-heavy columns
+        // (equal instants split across the two inputs), empty sides, the
+        // degenerate form, and a capacity saturating the work-form guard.
+        let a = bursty();
+        let b = Workload::from_arrivals(
+            (0..80)
+                .map(|i| ms(i * 7))
+                .chain(vec![ms(333); 20])
+                .collect::<Vec<_>>(),
+        );
+        let merged = a.merged(&b);
+        let (an, bn) = (a.arrival_column().nanos(), b.arrival_column().nanos());
+        let grid = [150.0, 400.0, 1200.0, 1e30].map(Iops::new);
+        for c in grid {
+            for budget in [0u64, 3, 25, merged.len() as u64] {
+                assert_eq!(
+                    merged_within_budget(an, bn, c, dms(10), budget),
+                    within_miss_budget(&merged, c, dms(10), budget),
+                    "C={c} budget={budget}"
+                );
+            }
+        }
+        // Degenerate capacity (⌊C·δ⌋ = 0): everything overflows, so the
+        // verdict is just `n ≤ budget` — the scalar probe panics here, the
+        // merged form reports gracefully.
+        let n = merged.len() as u64;
+        assert!(!merged_within_budget(
+            an,
+            bn,
+            Iops::new(10.0),
+            dms(10),
+            n - 1
+        ));
+        assert!(merged_within_budget(an, bn, Iops::new(10.0), dms(10), n));
+        // Empty sides reduce to the single-column probe.
+        assert_eq!(
+            merged_within_budget(an, &[], Iops::new(150.0), dms(10), 10),
+            within_miss_budget(&a, Iops::new(150.0), dms(10), 10)
+        );
+        assert_eq!(
+            merged_within_budget(&[], bn, Iops::new(150.0), dms(10), 0),
+            within_miss_budget(&b, Iops::new(150.0), dms(10), 0)
+        );
+        assert!(merged_within_budget(&[], &[], Iops::new(150.0), dms(10), 0));
+    }
+
+    #[test]
     fn saturated_scan_stays_coherent_over_a_full_workload() {
         // A whole pass mixing normal arrivals with horizon-adjacent ones:
         // must complete without panicking and never admit beyond maxQ1.
@@ -931,7 +1128,7 @@ mod tests {
             .collect();
         let w = Workload::from_arrivals(arrivals);
         let p = RttParams::new(Iops::new(100.0), dms(20));
-        let overflow = scan_overflow(&w, p);
+        let overflow = scan_overflow(w.arrival_column().nanos(), p);
         assert!(
             overflow >= 100 - p.max_q1,
             "Q1 is bounded even at the horizon"

@@ -59,6 +59,7 @@ mod consolidate;
 mod degrade;
 mod edf;
 mod fair;
+mod fleet;
 mod graduated;
 mod kernel;
 mod miser;
@@ -74,18 +75,23 @@ mod tenant;
 
 pub use admission::{Admission, AdmissionController, AdmissionError};
 pub use cascade::{CascadeDecomposer, CascadeDecomposition, CascadeLevel};
-pub use consolidate::{merge_all, ConsolidationError, ConsolidationReport, ConsolidationStudy};
+pub use consolidate::{
+    merge_all, ConsolidationError, ConsolidationReport, ConsolidationStudy, LazyConsolidation,
+};
 pub use degrade::{
     AdaptiveScheduler, AdmissionLog, AdmissionRecord, CapacityAdaptive, DegradationController,
     DegradationPolicy,
 };
 pub use edf::{EdfScheduler, LatePolicy};
 pub use fair::FairQueueScheduler;
+pub use fleet::{
+    FleetError, FleetPlacer, FleetTenant, PackStats, Placement, QuoteCache, ServerBin,
+};
 pub use graduated::GraduatedScheduler;
 pub use kernel::{overflow_curve, within_miss_budget_curve};
 pub use miser::MiserScheduler;
 pub use offline::{rtt_period_bound, slotted_lower_bound, OptimalityCheck};
-pub use planner::{CapacityPlanner, MenuError, SlaQuote};
+pub use planner::{CapacityPlanner, MenuError, SeedCurve, SlaQuote};
 pub use pricing::{PricingModel, Quote};
 pub use rtt::{
     checked_max_queue, decompose, decompose_with_budget, optimal_drop_lower_bound, overflow_count,

@@ -11,7 +11,7 @@ use std::fmt;
 use gqos_parallel::WorkerPool;
 use gqos_trace::{Iops, SimDuration, Workload};
 
-use crate::kernel::{overflow_curve, within_miss_budget_multi, LANE_BATCH};
+use crate::kernel::{overflow_curve, overflow_curve_ns, within_miss_budget_multi_ns, LANE_BATCH};
 use crate::rtt::{overflow_count, within_miss_budget};
 use crate::target::{Provision, QosTarget};
 
@@ -159,18 +159,7 @@ impl<'w> CapacityPlanner<'w> {
     /// `fraction` under the exact `primary/total >= fraction` comparison
     /// [`fraction_guaranteed`](Self::fraction_guaranteed) performs.
     fn miss_budget(&self, fraction: f64) -> u64 {
-        let total = self.workload.len() as u64;
-        // Smallest integer `need` with need/total >= fraction, adjusted to
-        // match f64 division exactly so budget probes and fraction
-        // comparisons can never disagree.
-        let mut need = ((fraction * total as f64).ceil() as u64).min(total);
-        while need > 0 && (need - 1) as f64 / total as f64 >= fraction {
-            need -= 1;
-        }
-        while need < total && (need as f64) / (total as f64) < fraction {
-            need += 1;
-        }
-        total - need
+        miss_budget(self.workload.len() as u64, fraction)
     }
 
     /// Core capacity search. `warm` is a known lower bracket: a capacity
@@ -220,7 +209,7 @@ impl<'w> CapacityPlanner<'w> {
 
     /// Smallest capacity with a non-degenerate RTT bound: `C·δ ≥ 1`.
     fn capacity_floor(&self) -> u64 {
-        (1.0 / self.deadline.as_secs_f64()).ceil().max(1.0) as u64
+        capacity_floor(self.deadline)
     }
 
     /// The full provision for a target: `Cmin(f, δ)` plus the default
@@ -327,7 +316,7 @@ impl<'w> CapacityPlanner<'w> {
 
         // Seed: one fused overflow pass over the doubling grid gives every
         // fraction an exact (failing, meeting] capacity bracket.
-        let seed = SeedCurve::new(self);
+        let seed = SeedCurve::new(self.workload, self.deadline);
 
         // Contiguous per-worker ranges of the ascending sweep.
         let order = ascending_order(fractions);
@@ -371,57 +360,138 @@ impl<'w> CapacityPlanner<'w> {
             // construction, exactly as the serial search returns `start`.
             return hi;
         };
-        let mut lo = seed_lo.max(warm.unwrap_or(0).saturating_sub(1));
-        let mut hi = hi;
-        // Invariant: lo fails, hi meets. Each pass probes up to LANE_BATCH
-        // interior capacities in one fused budget sweep.
-        while hi - lo > 1 {
-            let width = (hi - lo) as u128;
-            let m = (width - 1).min(LANE_BATCH as u128) as u64;
-            let point = |i: u64| lo + (width * i as u128 / (m as u128 + 1)) as u64;
-            let probes: Vec<(Iops, u64)> = (1..=m)
-                .map(|i| (Iops::new(point(i) as f64), budget))
-                .collect();
-            let verdicts = within_miss_budget_multi(self.workload, &probes, self.deadline);
-            // Overflow is monotone in capacity: the verdicts flip from
-            // failing to meeting exactly once across the probes.
-            let mut new_lo = lo;
-            let mut new_hi = hi;
-            for (k, &meets) in verdicts.iter().enumerate() {
-                let c = point(k as u64 + 1);
-                if meets {
-                    new_hi = c;
-                    break;
-                }
-                new_lo = c;
-            }
-            (lo, hi) = (new_lo, new_hi);
-        }
-        hi
+        let lo = seed_lo.max(warm.unwrap_or(0).saturating_sub(1));
+        resolve_cmin_ns(
+            self.workload.arrival_column().nanos(),
+            self.deadline,
+            budget,
+            lo,
+            hi,
+        )
     }
 }
 
-/// The parallel menu's seed: the doubling capacity grid `⌈1/δ⌉·2^k`
-/// (stopping once `⌊C·δ⌋ ≥ N`, a capacity that admits everything) and its
-/// exact overflow counts from one fused [`overflow_curve`] pass.
-struct SeedCurve {
+/// The miss budget for `fraction` over a workload of `total` requests: the
+/// largest overflow count that still leaves a primary fraction of at least
+/// `fraction` under the exact `primary/total >= fraction` comparison
+/// [`CapacityPlanner::fraction_guaranteed`] performs.
+///
+/// The smallest integer `need` with `need/total >= fraction` is first
+/// estimated in floating point and then adjusted to match f64 division
+/// exactly, so budget probes and fraction comparisons can never disagree.
+pub(crate) fn miss_budget(total: u64, fraction: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let mut need = ((fraction * total as f64).ceil() as u64).min(total);
+    while need > 0 && (need - 1) as f64 / total as f64 >= fraction {
+        need -= 1;
+    }
+    while need < total && (need as f64) / (total as f64) < fraction {
+        need += 1;
+    }
+    total - need
+}
+
+/// Smallest capacity with a non-degenerate RTT bound at `deadline`:
+/// `C·δ ≥ 1`.
+pub(crate) fn capacity_floor(deadline: SimDuration) -> u64 {
+    (1.0 / deadline.as_secs_f64()).ceil().max(1.0) as u64
+}
+
+/// Wide bisection over a raw arrival column: shrinks the bracket
+/// `(lo fails, hi meets]` to the unique minimal integer capacity meeting
+/// `budget`, probing up to [`LANE_BATCH`] interior capacities per fused
+/// [`within_miss_budget_multi_ns`] pass (~9× bracket shrink per pass
+/// instead of 2×). Requires `lo < hi`, `lo` failing and `hi` meeting.
+pub(crate) fn resolve_cmin_ns(
+    col: &[u64],
+    deadline: SimDuration,
+    budget: u64,
+    mut lo: u64,
+    mut hi: u64,
+) -> u64 {
+    while hi - lo > 1 {
+        let width = (hi - lo) as u128;
+        let m = (width - 1).min(LANE_BATCH as u128) as u64;
+        let point = |i: u64| lo + (width * i as u128 / (m as u128 + 1)) as u64;
+        let probes: Vec<(Iops, u64)> = (1..=m)
+            .map(|i| (Iops::new(point(i) as f64), budget))
+            .collect();
+        let verdicts = within_miss_budget_multi_ns(col, &probes, deadline);
+        // Overflow is monotone in capacity: the verdicts flip from
+        // failing to meeting exactly once across the probes.
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        for (k, &meets) in verdicts.iter().enumerate() {
+            let c = point(k as u64 + 1);
+            if meets {
+                new_hi = c;
+                break;
+            }
+            new_lo = c;
+        }
+        (lo, hi) = (new_lo, new_hi);
+    }
+    hi
+}
+
+/// The doubling capacity seed grid `⌈1/δ⌉·2^k` of one workload at one
+/// deadline (stopping once `⌊C·δ⌋ ≥ N`, a capacity that admits
+/// everything), with its exact overflow counts from one fused
+/// [`overflow_curve`] pass.
+///
+/// Built once per `(workload, deadline)`, a seed curve brackets
+/// `Cmin(f, δ)` for *every* fraction at once:
+/// [`bracket`](Self::bracket) maps a miss budget to the consecutive grid
+/// pair `(failing lo, meeting hi)`, leaving only a narrow bisection to
+/// resolve the exact quote. [`CapacityPlanner::menu_parallel`] seeds its
+/// worker sweeps with one; the fleet [`QuoteCache`](crate::QuoteCache)
+/// keeps one per tenant and memoizes the resolved quotes.
+#[derive(Clone, Debug)]
+pub struct SeedCurve {
     grid: Vec<u64>,
     counts: Vec<u64>,
 }
 
 impl SeedCurve {
-    fn new(planner: &CapacityPlanner<'_>) -> Self {
-        let n = planner.workload.len() as u64;
-        let floor = planner.capacity_floor();
+    /// Builds the seed curve: one fused overflow pass over the doubling
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn new(workload: &Workload, deadline: SimDuration) -> Self {
+        SeedCurve::from_nanos(workload.arrival_column().nanos(), deadline)
+    }
+
+    /// [`new`](Self::new) over a raw sorted arrival column — the fleet
+    /// consolidation path holds merged columns, not [`Workload`]s.
+    pub(crate) fn from_nanos(col: &[u64], deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        let n = col.len() as u64;
+        let floor = capacity_floor(deadline);
         let mut grid = vec![floor];
         let mut c = floor;
-        while Iops::new(c as f64).requests_within(planner.deadline) < n {
+        while Iops::new(c as f64).requests_within(deadline) < n {
             c = c.checked_mul(2).expect("capacity search overflow");
             grid.push(c);
         }
         let capacities: Vec<Iops> = grid.iter().map(|&c| Iops::new(c as f64)).collect();
-        let counts = overflow_curve(planner.workload, &capacities, planner.deadline);
+        let counts = overflow_curve_ns(col, &capacities, deadline);
         SeedCurve { grid, counts }
+    }
+
+    /// The doubling capacity grid (IOPS), ascending from the domain floor
+    /// `⌈1/δ⌉`.
+    pub fn grid(&self) -> &[u64] {
+        &self.grid
+    }
+
+    /// Exact overflow counts per grid capacity, aligned with
+    /// [`grid`](Self::grid); non-increasing, ending at 0.
+    pub fn overflow_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// The bracket for a miss budget: `(Some(lo), hi)` where `lo` is the
@@ -429,7 +499,7 @@ impl SeedCurve {
     /// meeting it, or `(None, floor)` when the domain floor already meets
     /// it (then `floor` *is* `Cmin`). A meeting `hi` always exists: the
     /// grid's last capacity admits the whole workload.
-    fn bracket(&self, budget: u64) -> (Option<u64>, u64) {
+    pub fn bracket(&self, budget: u64) -> (Option<u64>, u64) {
         let j = self
             .counts
             .iter()
@@ -693,11 +763,15 @@ mod tests {
         arrivals.extend(vec![ms(333); 25]);
         let w = Workload::from_arrivals(arrivals);
         let p = CapacityPlanner::new(&w, dms(10));
-        let seed = SeedCurve::new(&p);
-        assert_eq!(seed.grid[0], 100, "grid starts at the domain floor");
+        let seed = SeedCurve::new(&w, dms(10));
+        assert_eq!(seed.grid()[0], 100, "grid starts at the domain floor");
         assert!(
-            seed.grid.windows(2).all(|g| g[1] == g[0] * 2),
+            seed.grid().windows(2).all(|g| g[1] == g[0] * 2),
             "doubling grid"
+        );
+        assert!(
+            seed.overflow_counts().windows(2).all(|c| c[1] <= c[0]),
+            "overflow counts non-increasing"
         );
         for f in [0.9, 0.99, 1.0] {
             let budget = p.miss_budget(f);

@@ -430,7 +430,11 @@ pub fn within_miss_budget(
     deadline: SimDuration,
     budget: u64,
 ) -> bool {
-    scan_within_budget(workload, RttParams::new(capacity, deadline), budget)
+    scan_within_budget(
+        workload.arrival_column().nanos(),
+        RttParams::new(capacity, deadline),
+        budget,
+    )
 }
 
 /// The overflow count of [`decompose`] without materialising the
@@ -441,7 +445,10 @@ pub fn within_miss_budget(
 ///
 /// Panics if `deadline` is zero or `⌊C·δ⌋ = 0` (see [`RttClassifier::new`]).
 pub fn overflow_count(workload: &Workload, capacity: Iops, deadline: SimDuration) -> u64 {
-    scan_overflow(workload, RttParams::new(capacity, deadline))
+    scan_overflow(
+        workload.arrival_column().nanos(),
+        RttParams::new(capacity, deadline),
+    )
 }
 
 /// Reusable storage for offline decompositions: run many probes, allocate
