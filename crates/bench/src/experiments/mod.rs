@@ -3,6 +3,7 @@
 //! Each submodule exposes `run(&ExpConfig)`; the corresponding binary in
 //! `src/bin/` is a thin wrapper, and `all_experiments` runs every one.
 
+pub mod control_chaos;
 pub mod fault_sweep;
 pub mod fig2;
 pub mod fig4;

@@ -14,6 +14,7 @@ const EXP_CONFIG_BINS: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_ablation_token_bucket"),
     ),
     ("all_experiments", env!("CARGO_BIN_EXE_all_experiments")),
+    ("control_chaos", env!("CARGO_BIN_EXE_control_chaos")),
     ("disk_endtoend", env!("CARGO_BIN_EXE_disk_endtoend")),
     ("fault_sweep", env!("CARGO_BIN_EXE_fault_sweep")),
     ("fig2_shaping", env!("CARGO_BIN_EXE_fig2_shaping")),

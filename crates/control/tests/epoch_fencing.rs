@@ -1,0 +1,153 @@
+//! Epoch-fencing regression suite for the `QuoteCache` invalidation
+//! contract under live SLA renegotiation: an `UpdateSla` bumps exactly
+//! the renegotiated tenant's epoch, which invalidates exactly that
+//! tenant's cached entries (hit/miss counters asserted precisely), and a
+//! quote computed at a stale epoch is never served again.
+
+use gqos_control::{Ack, AckDetail, CommandBody, ControlError, ControlPlane, ControlRequest};
+use gqos_core::{FleetPlacer, FleetTenant, QosTarget, QuoteCache, TenantId};
+use gqos_parallel::WorkerPool;
+use gqos_trace::{Iops, SimDuration, SimTime, Workload};
+
+fn workload(seed: u64) -> Workload {
+    Workload::from_arrivals((0..80).map(|i| SimTime::from_millis(i * 5 + seed)))
+}
+
+#[test]
+fn bump_epoch_invalidates_exactly_the_renegotiated_tenant() {
+    let deadline = SimDuration::from_millis(20);
+    let mut cache = QuoteCache::new(deadline);
+    let mut a = FleetTenant::new(TenantId::new(0), workload(0));
+    let b = FleetTenant::new(TenantId::new(1), workload(1));
+
+    // Cold quote for each tenant: two misses. Repeats: two hits.
+    let qa = cache.quote_int(&a, 0.9);
+    let qb = cache.quote_int(&b, 0.9);
+    assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    assert_eq!(cache.quote_int(&a, 0.9), qa);
+    assert_eq!(cache.quote_int(&b, 0.9), qb);
+    assert_eq!((cache.hits(), cache.misses()), (2, 2));
+
+    // SLA renegotiation on `a` alone: epoch bump.
+    a.bump_epoch();
+
+    // `a`'s entry is stale: the next quote is a miss (rebuilt), not a
+    // replay of the stale value. `b` is untouched: still a hit.
+    assert_eq!(cache.quote_int(&a, 0.9), qa, "same workload, same Cmin");
+    assert_eq!((cache.hits(), cache.misses()), (2, 3), "a must rebuild");
+    assert_eq!(cache.quote_int(&b, 0.9), qb);
+    assert_eq!((cache.hits(), cache.misses()), (3, 3), "b must stay cached");
+
+    // Rebuilt entry memoizes again at the new epoch.
+    assert_eq!(cache.quote_int(&a, 0.9), qa);
+    assert_eq!((cache.hits(), cache.misses()), (4, 3));
+}
+
+#[test]
+fn stale_epoch_quotes_are_never_served_after_a_workload_change() {
+    let deadline = SimDuration::from_millis(20);
+    let mut cache = QuoteCache::new(deadline);
+    let mut t = FleetTenant::new(TenantId::new(0), workload(0));
+    let before = cache.quote_int(&t, 0.9);
+
+    // The tenant's profile doubles in rate: a stale quote would
+    // under-provision it.
+    t.set_workload(Workload::from_arrivals(
+        (0..160).map(|i| SimTime::from_millis(i * 2)),
+    ));
+    let after = cache.quote_int(&t, 0.9);
+    assert_ne!(after, before, "the stale quote must not be replayed");
+    assert_eq!(cache.misses(), 2, "the epoch mismatch must force a rebuild");
+    assert_eq!(cache.hits(), 0);
+
+    // And the fresh quote is bit-identical to a cold cache's answer.
+    let mut cold = QuoteCache::new(deadline);
+    assert_eq!(cold.quote_int(&t, 0.9), after);
+}
+
+#[test]
+fn update_sla_through_the_plane_fences_and_invalidates_precisely() {
+    let target = QosTarget::new(0.9, SimDuration::from_millis(20));
+    let placer = FleetPlacer::new(target, Iops::new(400.0));
+    let mut plane = ControlPlane::new(placer, 4, WorkerPool::serial()).unwrap();
+    for tenant in 0..2usize {
+        let add = ControlRequest::new(
+            tenant as u64 + 1,
+            CommandBody::AddTenant {
+                tenant: TenantId::new(tenant),
+                workload: workload(tenant as u64),
+            },
+        );
+        assert!(plane.apply(&add, SimTime::ZERO).outcome.is_ok());
+    }
+    let (hits0, misses0) = (plane.cache().hits(), plane.cache().misses());
+
+    // Renegotiate tenant 0 at the fleet deadline: exactly one rebuild
+    // miss (the epoch bump invalidated its entry), zero extra work for
+    // tenant 1.
+    let update = ControlRequest::new(
+        10,
+        CommandBody::UpdateSla {
+            tenant: TenantId::new(0),
+            fraction: 0.9,
+            deadline: SimDuration::from_millis(20),
+            expect_epoch: 0,
+        },
+    );
+    let out = plane.apply(&update, SimTime::ZERO);
+    let Ok(Ack {
+        epoch: Some(1),
+        detail: AckDetail::SlaUpdated { cmin },
+    }) = out.outcome
+    else {
+        panic!("renegotiation rejected: {out:?}");
+    };
+    assert!(cmin > 0);
+    assert_eq!(
+        (plane.cache().hits(), plane.cache().misses()),
+        (hits0, misses0 + 1),
+        "exactly the renegotiated tenant's entry may rebuild"
+    );
+
+    // A duplicate delivery replays the decision: no second bump, no
+    // cache traffic.
+    assert_eq!(plane.apply(&update, SimTime::from_millis(1)), out);
+    assert_eq!(plane.epoch_of(TenantId::new(0)), Some(1));
+    assert_eq!(
+        (plane.cache().hits(), plane.cache().misses()),
+        (hits0, misses0 + 1)
+    );
+
+    // A fresh command still fenced at the old epoch is rejected with
+    // both epochs, and leaves the cache alone.
+    let stale = ControlRequest::new(
+        11,
+        CommandBody::UpdateSla {
+            tenant: TenantId::new(0),
+            fraction: 0.8,
+            deadline: SimDuration::from_millis(20),
+            expect_epoch: 0,
+        },
+    );
+    assert_eq!(
+        plane.apply(&stale, SimTime::from_millis(2)).outcome,
+        Err(ControlError::StaleEpoch {
+            tenant: TenantId::new(0),
+            expect: 0,
+            current: 1,
+        })
+    );
+    assert_eq!(
+        (plane.cache().hits(), plane.cache().misses()),
+        (hits0, misses0 + 1)
+    );
+
+    // The untouched tenant's quote is still served from the memo.
+    let quotes = plane.converged_quotes();
+    assert_eq!(quotes.len(), 2);
+    assert_eq!(
+        plane.cache().misses(),
+        misses0 + 1,
+        "tenant 1 never rebuilt"
+    );
+}

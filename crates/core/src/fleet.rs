@@ -150,6 +150,18 @@ impl FleetTenant {
         }
     }
 
+    /// Creates a tenant at an explicit `epoch` — the re-admission path:
+    /// a control plane re-adding a previously removed tenant must resume
+    /// at its last fenced epoch (or later) so stale retried commands and
+    /// stale cached quotes from the earlier incarnation stay dead.
+    pub fn with_epoch(id: TenantId, workload: Workload, epoch: u64) -> Self {
+        FleetTenant {
+            id,
+            workload,
+            epoch,
+        }
+    }
+
     /// The tenant's identity.
     pub fn id(&self) -> TenantId {
         self.id
@@ -609,6 +621,7 @@ pub struct Placement {
     capacity: u64,
     bins: Vec<ServerBin>,
     factors: Vec<f64>,
+    down: Vec<bool>,
     assignment: BTreeMap<TenantId, usize>,
     unplaced: Vec<TenantId>,
     stats: PackStats,
@@ -621,6 +634,7 @@ impl Placement {
             capacity,
             bins: (0..servers).map(|_| ServerBin::new(target)).collect(),
             factors: vec![1.0; servers],
+            down: vec![false; servers],
             assignment: BTreeMap::new(),
             unplaced: Vec::new(),
             stats: PackStats::default(),
@@ -670,6 +684,17 @@ impl Placement {
     /// The server's current degradation factor (1.0 nominal).
     pub fn factor(&self, node: usize) -> f64 {
         self.factors[node]
+    }
+
+    /// `true` while the server is marked down
+    /// ([`FleetPlacer::replan_node_down`]): no tenant is offered to it.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down[node]
+    }
+
+    /// The down servers, ascending.
+    pub fn down_nodes(&self) -> Vec<usize> {
+        (0..self.down.len()).filter(|&n| self.down[n]).collect()
     }
 
     /// The server's effective capacity: `⌊nominal × factor⌋`, at least 1.
@@ -744,6 +769,26 @@ impl FleetPlacer {
         cache: &mut QuoteCache,
         pool: &WorkerPool,
     ) -> Result<Placement, FleetError> {
+        self.pack_avoiding(tenants, servers, &[], cache, pool)
+    }
+
+    /// [`pack`](Self::pack) with the servers in `down` marked down before
+    /// any tenant is offered — the from-scratch placement of a degraded
+    /// fleet, and the convergence oracle the control plane's incremental
+    /// state is checked against.
+    ///
+    /// # Errors
+    ///
+    /// As [`pack`](Self::pack), plus [`FleetError::UnknownServer`] for a
+    /// down index outside the fleet.
+    pub fn pack_avoiding(
+        &self,
+        tenants: &[FleetTenant],
+        servers: usize,
+        down: &[usize],
+        cache: &mut QuoteCache,
+        pool: &WorkerPool,
+    ) -> Result<Placement, FleetError> {
         if servers == 0 {
             return Err(FleetError::NoServers);
         }
@@ -753,8 +798,14 @@ impl FleetPlacer {
                 target: self.target.deadline(),
             });
         }
-        let (hits0, misses0) = (cache.hits(), cache.misses());
         let mut placement = Placement::new(self.target, self.capacity, servers);
+        for &node in down {
+            if node >= servers {
+                return Err(FleetError::UnknownServer { node, servers });
+            }
+            placement.down[node] = true;
+        }
+        let (hits0, misses0) = (cache.hits(), cache.misses());
         // Fan the independent cold standalone searches out over the pool;
         // the ordering pass below then runs entirely on memo hits.
         cache.warm_batch(tenants, self.target.fraction(), pool);
@@ -916,6 +967,173 @@ impl FleetPlacer {
         })
     }
 
+    /// Places one tenant into an existing placement — the `AddTenant`
+    /// hook of a live control plane. The tenant is offered to the open,
+    /// up servers exactly as one [`pack`](Self::pack) step would; if it
+    /// was previously recorded unplaced and now fits, the unplaced record
+    /// is cleared. Placing an already-placed tenant is a no-op returning
+    /// its current server.
+    ///
+    /// Returns the hosting server, or `None` when no server admits the
+    /// tenant (it is recorded unplaced, never dropped).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DeadlineMismatch`] as in [`pack`](Self::pack).
+    pub fn place_into(
+        &self,
+        placement: &mut Placement,
+        tenant: &FleetTenant,
+        cache: &mut QuoteCache,
+        pool: &WorkerPool,
+    ) -> Result<Option<usize>, FleetError> {
+        self.place_avoiding(placement, tenant, &[], cache, pool)
+    }
+
+    /// [`place_into`](Self::place_into) with the servers in `avoid`
+    /// additionally excluded from candidacy — the `DrainTenant` hook,
+    /// where the target must differ from the server being vacated.
+    ///
+    /// # Errors
+    ///
+    /// As [`place_into`](Self::place_into), plus
+    /// [`FleetError::UnknownServer`] for an avoided index outside the
+    /// fleet.
+    pub fn place_avoiding(
+        &self,
+        placement: &mut Placement,
+        tenant: &FleetTenant,
+        avoid: &[usize],
+        cache: &mut QuoteCache,
+        pool: &WorkerPool,
+    ) -> Result<Option<usize>, FleetError> {
+        if cache.deadline() != self.target.deadline() {
+            return Err(FleetError::DeadlineMismatch {
+                cache: cache.deadline(),
+                target: self.target.deadline(),
+            });
+        }
+        for &node in avoid {
+            if node >= placement.bins.len() {
+                return Err(FleetError::UnknownServer {
+                    node,
+                    servers: placement.bins.len(),
+                });
+            }
+        }
+        if let Some(node) = placement.assignment.get(&tenant.id()).copied() {
+            return Ok(Some(node));
+        }
+        let (hits0, misses0) = (cache.hits(), cache.misses());
+        // Warm (and epoch-check) the standalone quote so the cache state
+        // matches what a full pack of the same tenant set would hold.
+        let _ = cache.quote_int(tenant, self.target.fraction());
+        placement.unplaced.retain(|&id| id != tenant.id());
+        let mut closed = vec![false; placement.bins.len()];
+        for &node in avoid {
+            closed[node] = true;
+        }
+        self.place_one(placement, tenant.id(), tenant.col(), &mut closed, pool);
+        placement.stats.cache_hits += cache.hits() - hits0;
+        placement.stats.cache_misses += cache.misses() - misses0;
+        Ok(placement.assignment.get(&tenant.id()).copied())
+    }
+
+    /// Removes one tenant from the placement — the `RemoveTenant` /
+    /// drain-eviction hook. The hosting bin multiset-subtracts the
+    /// tenant's column; any unplaced record is cleared too. Returns the
+    /// server the tenant was evicted from, or `None` if it was not
+    /// placed.
+    pub fn evict(&self, placement: &mut Placement, tenant: &FleetTenant) -> Option<usize> {
+        placement.unplaced.retain(|&id| id != tenant.id());
+        let node = placement.assignment.remove(&tenant.id())?;
+        placement.bins[node].remove(tenant.id(), tenant.col());
+        Some(node)
+    }
+
+    /// Marks `node` down and re-places its residents on the remaining up
+    /// servers — the `NodeDown` hook. Like
+    /// [`replan_degraded`](Self::replan_degraded), only the failed
+    /// server's tenants move; residents that fit nowhere are recorded
+    /// unplaced (never dropped) and can be refilled once a node returns
+    /// via [`mark_node_up`](Self::mark_node_up) +
+    /// [`place_into`](Self::place_into). Marking an already-down node is
+    /// an idempotent no-op returning zeroed stats.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownServer`] for an out-of-range node,
+    /// [`FleetError::DeadlineMismatch`] as in [`pack`](Self::pack).
+    pub fn replan_node_down(
+        &self,
+        placement: &mut Placement,
+        tenants: &[FleetTenant],
+        node: usize,
+        cache: &mut QuoteCache,
+        pool: &WorkerPool,
+    ) -> Result<PackStats, FleetError> {
+        if node >= placement.bins.len() {
+            return Err(FleetError::UnknownServer {
+                node,
+                servers: placement.bins.len(),
+            });
+        }
+        if cache.deadline() != self.target.deadline() {
+            return Err(FleetError::DeadlineMismatch {
+                cache: cache.deadline(),
+                target: self.target.deadline(),
+            });
+        }
+        if placement.down[node] {
+            return Ok(PackStats::default());
+        }
+        let (hits0, misses0) = (cache.hits(), cache.misses());
+        let stats0 = placement.stats;
+        placement.down[node] = true;
+        let evicted: Vec<TenantId> = placement.bins[node].members().to_vec();
+        placement.bins[node] = ServerBin::new(self.target);
+        for id in &evicted {
+            placement.assignment.remove(id);
+        }
+        let affected: Vec<&FleetTenant> = tenants
+            .iter()
+            .filter(|t| evicted.contains(&t.id()))
+            .collect();
+        let order = self.decreasing_order_of(&affected, cache);
+        let mut closed = vec![false; placement.bins.len()];
+        for (idx, _) in order {
+            let tenant = affected[idx];
+            self.place_one(placement, tenant.id(), tenant.col(), &mut closed, pool);
+        }
+        Ok(PackStats {
+            probes: placement.stats.probes - stats0.probes,
+            placed: placement.stats.placed - stats0.placed,
+            unplaced: placement.stats.unplaced - stats0.unplaced,
+            cache_hits: cache.hits() - hits0,
+            cache_misses: cache.misses() - misses0,
+        })
+    }
+
+    /// Clears a server's down mark — the `NodeUp` hook. The recovered
+    /// server starts empty; the caller decides when (and whether) to
+    /// refill it, typically behind a flap-damping guard. Returns `true`
+    /// when the node was down.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownServer`] for an out-of-range node.
+    pub fn mark_node_up(&self, placement: &mut Placement, node: usize) -> Result<bool, FleetError> {
+        if node >= placement.bins.len() {
+            return Err(FleetError::UnknownServer {
+                node,
+                servers: placement.bins.len(),
+            });
+        }
+        let was_down = placement.down[node];
+        placement.down[node] = false;
+        Ok(was_down)
+    }
+
     /// Standalone quotes for every tenant, ordered by descending quote
     /// with ties on ascending id.
     fn decreasing_order(
@@ -981,7 +1199,9 @@ impl FleetPlacer {
         /// the pool width.
         const PROBE_BATCH: usize = 8;
 
-        let candidates: Vec<usize> = (0..placement.bins.len()).filter(|&n| !closed[n]).collect();
+        let candidates: Vec<usize> = (0..placement.bins.len())
+            .filter(|&n| !closed[n] && !placement.down[n])
+            .collect();
         let mut chosen = None;
         let mut next = 0;
         while next < candidates.len() && chosen.is_none() {
@@ -1412,6 +1632,147 @@ mod tests {
         assert!(FleetError::BadFactor { value: -1.0 }
             .to_string()
             .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn place_into_and_evict_roundtrip() {
+        let tenants = fleet(8);
+        let placer = FleetPlacer::new(QosTarget::new(0.9, dms(10)), Iops::new(1400.0));
+        let mut cache = QuoteCache::new(dms(10));
+        let pool = WorkerPool::new(2);
+        let mut p = placer.pack(&tenants, 4, &mut cache, &pool).unwrap();
+        let t = &tenants[3];
+        let home = p.server_of(t.id()).expect("placed by pack");
+        // Idempotent: placing a placed tenant returns its current server.
+        assert_eq!(
+            placer.place_into(&mut p, t, &mut cache, &pool).unwrap(),
+            Some(home)
+        );
+        let from = placer.evict(&mut p, t).expect("was placed");
+        assert_eq!(from, home);
+        assert_eq!(p.server_of(t.id()), None);
+        assert!(!p.bins()[from].members().contains(&t.id()));
+        // Re-placing lands it somewhere feasible again.
+        let node = placer
+            .place_into(&mut p, t, &mut cache, &pool)
+            .unwrap()
+            .expect("fits again");
+        assert_eq!(p.server_of(t.id()), Some(node));
+        assert!(p.bins()[node].quote_int() <= p.effective_capacity(node));
+        // Evicting an unplaced tenant is None.
+        placer.evict(&mut p, t);
+        assert_eq!(placer.evict(&mut p, t), None);
+        // Avoiding the old home forces a different target.
+        let moved = placer
+            .place_avoiding(&mut p, t, &[node], &mut cache, &pool)
+            .unwrap();
+        if let Some(m) = moved {
+            assert_ne!(m, node, "avoided server must not host the tenant");
+        }
+        assert!(matches!(
+            placer
+                .place_avoiding(&mut p, &tenants[0], &[99], &mut cache, &pool)
+                .unwrap_err(),
+            FleetError::UnknownServer { node: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn replan_node_down_moves_only_that_node_and_is_idempotent() {
+        let tenants = fleet(10);
+        let placer = FleetPlacer::new(QosTarget::new(0.9, dms(10)), Iops::new(1400.0));
+        let mut cache = QuoteCache::new(dms(10));
+        let pool = WorkerPool::new(4);
+        let mut p = placer.pack(&tenants, 6, &mut cache, &pool).unwrap();
+        let node = p
+            .bins()
+            .iter()
+            .position(|b| !b.is_empty())
+            .expect("some bin is occupied");
+        let moved: Vec<TenantId> = p.bins()[node].members().to_vec();
+        let before: BTreeMap<TenantId, usize> = tenants
+            .iter()
+            .filter_map(|t| p.server_of(t.id()).map(|s| (t.id(), s)))
+            .collect();
+        let stats = placer
+            .replan_node_down(&mut p, &tenants, node, &mut cache, &pool)
+            .unwrap();
+        assert!(p.is_down(node));
+        assert_eq!(p.down_nodes(), vec![node]);
+        assert!(p.bins()[node].is_empty(), "down node must be vacated");
+        assert_eq!(stats.placed + stats.unplaced, moved.len() as u64);
+        for (id, server) in &before {
+            if !moved.contains(id) {
+                assert_eq!(p.server_of(*id), Some(*server), "{id:?} must not move");
+            } else {
+                assert_ne!(p.server_of(*id), Some(node), "{id:?} left on down node");
+            }
+        }
+        // Idempotent: a duplicate NodeDown changes nothing.
+        let again = placer
+            .replan_node_down(&mut p, &tenants, node, &mut cache, &pool)
+            .unwrap();
+        assert_eq!(again, PackStats::default());
+        // Recovery: the node is offerable again after mark_node_up.
+        assert!(placer.mark_node_up(&mut p, node).unwrap());
+        assert!(!p.is_down(node));
+        assert!(!placer.mark_node_up(&mut p, node).unwrap());
+        assert!(matches!(
+            placer.mark_node_up(&mut p, 77).unwrap_err(),
+            FleetError::UnknownServer { node: 77, .. }
+        ));
+    }
+
+    #[test]
+    fn pack_avoiding_never_uses_down_servers() {
+        let tenants = fleet(10);
+        let placer = FleetPlacer::new(QosTarget::new(0.9, dms(10)), Iops::new(1400.0));
+        let mut cache = QuoteCache::new(dms(10));
+        let pool = WorkerPool::new(2);
+        let p = placer
+            .pack_avoiding(&tenants, 6, &[1, 4], &mut cache, &pool)
+            .unwrap();
+        assert!(p.bins()[1].is_empty() && p.bins()[4].is_empty());
+        assert!(p.is_down(1) && p.is_down(4));
+        assert_eq!(p.down_nodes(), vec![1, 4]);
+        for t in &tenants {
+            if let Some(node) = p.server_of(t.id()) {
+                assert!(node != 1 && node != 4);
+            }
+        }
+        assert!(matches!(
+            placer
+                .pack_avoiding(&tenants, 6, &[6], &mut cache, &pool)
+                .unwrap_err(),
+            FleetError::UnknownServer {
+                node: 6,
+                servers: 6
+            }
+        ));
+    }
+
+    #[test]
+    fn incremental_node_down_matches_from_scratch_pack_avoiding() {
+        let tenants = fleet(12);
+        let placer = FleetPlacer::new(QosTarget::new(0.9, dms(10)), Iops::new(1500.0));
+        let pool = WorkerPool::new(4);
+        let mut cache = QuoteCache::new(dms(10));
+        let mut live = placer.pack(&tenants, 5, &mut cache, &pool).unwrap();
+        placer
+            .replan_node_down(&mut live, &tenants, 2, &mut cache, &pool)
+            .unwrap();
+        // The oracle: both paths respect capacity and leave node 2 empty;
+        // the surviving assignment is feasible either way.
+        let mut fresh_cache = QuoteCache::new(dms(10));
+        let scratch = placer
+            .pack_avoiding(&tenants, 5, &[2], &mut fresh_cache, &pool)
+            .unwrap();
+        for p in [&live, &scratch] {
+            assert!(p.bins()[2].is_empty());
+            for node in 0..p.servers() {
+                assert!(p.bins()[node].quote_int() <= p.effective_capacity(node));
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,22 @@
 //! nearby — still meets `δ`. Degradation may shed arrivals to Q2 (that is
 //! its job) but must never let an honestly-admitted primary miss.
 
-use gqos_core::{Provision, RecombinePolicy, WorkloadShaper};
+use gqos_core::{
+    DegradationController, DegradationPolicy, Provision, RecombinePolicy, WorkloadShaper,
+};
 use gqos_faults::FaultSchedule;
 use gqos_trace::{Iops, SimDuration, SimTime, Workload};
 use proptest::prelude::*;
+
+/// Feeds the controller one completion whose observed service time
+/// encodes an instantaneous capacity ratio of `inst` against a 1 ms
+/// nominal: `observed = nominal / inst`, so the estimator sees `inst`
+/// (up to sub-ppm rounding of the nanosecond grid).
+fn observe_ratio(controller: &mut DegradationController, inst: f64) -> Option<f64> {
+    let nominal = SimDuration::from_nanos(1_000_000);
+    let observed = SimDuration::from_nanos((1_000_000.0 / inst).round() as u64);
+    controller.observe(observed, nominal)
+}
 
 /// A calm stream with periodic bursts — enough pressure to keep Q1 near
 /// its bound so renegotiation actually bites.
@@ -116,6 +128,54 @@ proptest! {
         }
         for record in &admissions {
             prop_assert!(record.factor > 0.0 && record.factor <= 1.0);
+        }
+    }
+
+    /// The oscillation guard: once the controller has settled on a rung,
+    /// borderline observations alternating around that rung's capacity
+    /// fraction — strictly inside the policy's 2% headroom margin — must
+    /// never change the level. No `Some` from `observe`, no factor
+    /// drift; the ladder only moves when the estimate genuinely leaves
+    /// the rung's band.
+    #[test]
+    fn borderline_oscillation_never_flaps_the_rung(
+        level in 1usize..=5,
+        eps_hi in 0.0005f64..0.016,
+        eps_lo in 0.0005f64..0.016,
+        window in 4usize..32,
+        wobble in 50usize..300,
+    ) {
+        let policy = DegradationPolicy::default();
+        let s = policy.steps()[level];
+        let mut controller = DegradationController::new(policy, window);
+
+        // Settle: a sustained fault at exactly `s` walks the controller
+        // down the ladder. Degradation is monotone on the way — every
+        // emitted renegotiation is strictly deeper than the last.
+        let mut last_emitted = f64::INFINITY;
+        for _ in 0..600 {
+            if let Some(factor) = observe_ratio(&mut controller, s) {
+                prop_assert!(
+                    factor < last_emitted,
+                    "settling emitted a non-deepening renegotiation: {factor} after {last_emitted}"
+                );
+                last_emitted = factor;
+            }
+        }
+        prop_assert_eq!(controller.factor(), s, "controller must settle on the faulted rung");
+
+        // Oscillate: capacity observations alternate just above and just
+        // below the rung, both inside the margin. The quantised level —
+        // and therefore the admission bound — must not move at all.
+        for i in 0..wobble {
+            let inst = if i % 2 == 0 { s * (1.0 + eps_hi) } else { s * (1.0 - eps_lo) };
+            let change = observe_ratio(&mut controller, inst);
+            prop_assert_eq!(
+                change, None,
+                "borderline wobble {} (inst {:.5}) renegotiated off rung {}",
+                i, inst, s
+            );
+            prop_assert_eq!(controller.factor(), s);
         }
     }
 }

@@ -17,6 +17,18 @@
 //! - [`CapacityEstimator`] — the online, windowed EWMA over observed
 //!   per-request service times that a degradation controller uses to track
 //!   `C_eff(t)` without being told about the schedule.
+//! - [`ChannelFaultSchedule`] — the same idea for the *control channel*:
+//!   deterministic per-message drop/duplicate/delay fates
+//!   ([`ChannelFate`]) that the `gqos-control` retry loop must survive.
+//! - [`FleetFaultSchedule`] — correlated multi-node timelines: one knob
+//!   sweeps from lockstep rack failures to fully independent node
+//!   faults, and [`outages`](FleetFaultSchedule::outages) feeds the
+//!   control plane its `NodeDown`/`NodeUp` command stream.
+//!
+//! Generators reject malformed inputs (zero/overflowing spans, severities
+//! outside `[0, 1]`) with a typed [`ScheduleError`] via the
+//! `try_generate` constructors; the plain `generate` forms panic with the
+//! same message.
 //!
 //! An **empty** schedule is an exact identity: wrapped servers produce
 //! byte-identical simulation outputs to unwrapped ones (the fault-free
@@ -39,8 +51,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod channel;
 mod estimator;
+mod fleet;
 mod schedule;
 
+pub use channel::{ChannelFate, ChannelFaultKind, ChannelFaultSchedule, ChannelWindow};
 pub use estimator::CapacityEstimator;
-pub use schedule::{FaultKind, FaultSchedule, FaultWindow};
+pub use fleet::FleetFaultSchedule;
+pub use schedule::{
+    splitmix64, FaultKind, FaultSchedule, FaultWindow, ScheduleError, MAX_GENERATED_SPAN,
+};

@@ -10,6 +10,60 @@ use rand::{Rng, SeedableRng};
 /// through between its floor rate and nominal rate.
 const RAMP_STEPS: u64 = 16;
 
+/// Longest span [`FaultSchedule::try_generate`] accepts: half the
+/// representable timeline, so every generated window's `start + duration`
+/// stays far from the end-of-time saturation point and the float fraction
+/// arithmetic can never overflow the nanosecond grid.
+pub const MAX_GENERATED_SPAN: SimDuration = SimDuration::from_nanos(u64::MAX / 2);
+
+/// A fault-timeline generation request was malformed.
+///
+/// Returned by [`FaultSchedule::try_generate`] (and the channel/fleet
+/// generators built on it) instead of silently clamping adversarial
+/// inputs: a caller that asks for a NaN severity or a zero span almost
+/// certainly holds a bug, and a clamped-to-empty schedule would hide it.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum ScheduleError {
+    /// The experiment span was zero: no instant exists to place a fault.
+    ZeroSpan,
+    /// The experiment span exceeds [`MAX_GENERATED_SPAN`]; window
+    /// arithmetic could saturate and alias distinct schedules.
+    SpanOverflow {
+        /// The offending span.
+        span: SimDuration,
+    },
+    /// A severity outside `[0, 1]` (or not finite).
+    BadSeverity {
+        /// The offending severity.
+        severity: f64,
+    },
+    /// A correlation outside `[0, 1]` (or not finite) for a fleet
+    /// schedule.
+    BadCorrelation {
+        /// The offending correlation.
+        correlation: f64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleError::ZeroSpan => f.write_str("fault generation span must be positive"),
+            ScheduleError::SpanOverflow { span } => {
+                write!(f, "fault generation span {span} overflows the timeline")
+            }
+            ScheduleError::BadSeverity { severity } => {
+                write!(f, "fault severity must be in [0, 1]: got {severity}")
+            }
+            ScheduleError::BadCorrelation { correlation } => {
+                write!(f, "fleet correlation must be in [0, 1]: got {correlation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// One class of server misbehaviour.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub enum FaultKind {
@@ -275,19 +329,50 @@ impl FaultSchedule {
     }
 
     /// Generates a reproducible fault mix for a `span`-long experiment at
-    /// the given `severity` in `[0, 1]` (clamped): a transient slowdown and
-    /// a rebuild ramp at any severity above zero, plus a full outage once
-    /// severity exceeds 0.5, plus dispatch jitter. Severity zero yields the
-    /// empty schedule. Identical `(seed, span, severity)` triples yield
-    /// identical schedules.
+    /// the given `severity` in `[0, 1]`: a transient slowdown and a
+    /// rebuild ramp at any severity above zero, plus a full outage once
+    /// severity exceeds 0.5, plus dispatch jitter. Severity zero yields
+    /// the empty schedule. Identical `(seed, span, severity)` triples
+    /// yield identical schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ScheduleError`] message on a zero span, a span
+    /// above [`MAX_GENERATED_SPAN`], or a severity outside `[0, 1]`
+    /// (including NaN); [`try_generate`](Self::try_generate) returns the
+    /// typed error instead.
     pub fn generate(seed: u64, span: SimDuration, severity: f64) -> FaultSchedule {
-        let severity = if severity.is_finite() {
-            severity.clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        if severity == 0.0 || span.is_zero() {
-            return FaultSchedule::new(seed);
+        match FaultSchedule::try_generate(seed, span, severity) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`generate`](Self::generate) with the malformed-input cases
+    /// reported as a typed [`ScheduleError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::ZeroSpan`] when `span` is zero,
+    /// [`ScheduleError::SpanOverflow`] when it exceeds
+    /// [`MAX_GENERATED_SPAN`], and [`ScheduleError::BadSeverity`] when
+    /// `severity` is not finite or falls outside `[0, 1]`.
+    pub fn try_generate(
+        seed: u64,
+        span: SimDuration,
+        severity: f64,
+    ) -> Result<FaultSchedule, ScheduleError> {
+        if span.is_zero() {
+            return Err(ScheduleError::ZeroSpan);
+        }
+        if span > MAX_GENERATED_SPAN {
+            return Err(ScheduleError::SpanOverflow { span });
+        }
+        if !(severity.is_finite() && (0.0..=1.0).contains(&severity)) {
+            return Err(ScheduleError::BadSeverity { severity });
+        }
+        if severity == 0.0 {
+            return Ok(FaultSchedule::new(seed));
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let at = |frac: f64| SimTime::ZERO + span.mul_f64(frac);
@@ -319,7 +404,7 @@ impl FaultSchedule {
         if !max.is_zero() {
             s = s.with_jitter(at(start), span.mul_f64(0.06), max);
         }
-        s
+        Ok(s)
     }
 
     /// The effective-rate multiplier `C_eff(t) / C` at `t`, in `[0, 1]`.
@@ -459,8 +544,11 @@ fn add_nanos_saturating(t: SimTime, nanos: f64) -> SimTime {
     }
 }
 
-/// SplitMix64 finalizer — the stateless hash behind deterministic jitter.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer — the stateless hash behind deterministic jitter
+/// and the channel/fleet fault draws. Public so sibling crates (e.g. the
+/// control plane's retry backoff) can share one jitter primitive instead
+/// of growing subtly different ones.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -605,9 +693,53 @@ mod tests {
             .any(|w| matches!(w.kind, FaultKind::Outage)));
         // Different seeds move the windows.
         assert_ne!(a, FaultSchedule::generate(43, span, 0.8));
-        // Severity outside [0, 1] clamps instead of panicking.
-        assert!(!FaultSchedule::generate(42, span, 7.0).is_empty());
-        assert!(FaultSchedule::generate(42, span, f64::NAN).is_empty());
+    }
+
+    #[test]
+    fn try_generate_rejects_adversarial_inputs_with_typed_errors() {
+        let span = SimDuration::from_secs(120);
+        assert_eq!(
+            FaultSchedule::try_generate(42, SimDuration::ZERO, 0.5).unwrap_err(),
+            ScheduleError::ZeroSpan
+        );
+        assert_eq!(
+            FaultSchedule::try_generate(42, SimDuration::MAX, 0.5).unwrap_err(),
+            ScheduleError::SpanOverflow {
+                span: SimDuration::MAX
+            }
+        );
+        for severity in [7.0, -0.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    FaultSchedule::try_generate(42, span, severity),
+                    Err(ScheduleError::BadSeverity { .. })
+                ),
+                "severity {severity} accepted"
+            );
+        }
+        // Severity zero is a valid request for the fault-free schedule.
+        assert!(FaultSchedule::try_generate(42, span, 0.0)
+            .unwrap()
+            .is_empty());
+        // The boundary span is accepted.
+        assert!(FaultSchedule::try_generate(42, MAX_GENERATED_SPAN, 0.5).is_ok());
+        // Error messages are descriptive.
+        assert!(ScheduleError::ZeroSpan.to_string().contains("positive"));
+        assert!(ScheduleError::SpanOverflow { span }
+            .to_string()
+            .contains("overflows"));
+        assert!(ScheduleError::BadSeverity { severity: 7.0 }
+            .to_string()
+            .contains("[0, 1]"));
+        assert!(ScheduleError::BadCorrelation { correlation: 2.0 }
+            .to_string()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault severity must be in [0, 1]")]
+    fn generate_panics_with_the_schedule_error_message() {
+        let _ = FaultSchedule::generate(42, SimDuration::from_secs(1), f64::NAN);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! No-panic property suite for the fault generators: adversarial
+//! `(seed, span, severity, correlation)` inputs must either produce a
+//! valid schedule or a typed [`ScheduleError`] — never a panic, and
+//! never a silently clamped schedule.
+
+use gqos_faults::{
+    ChannelFaultSchedule, FaultSchedule, FleetFaultSchedule, ScheduleError, MAX_GENERATED_SPAN,
+};
+use gqos_trace::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Reinterprets raw bits as `f64`, covering NaN, infinities, subnormals,
+/// and negative zero alongside ordinary values.
+fn bits_to_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// The validity verdict `try_generate` must agree with.
+fn valid_inputs(span: SimDuration, severity: f64) -> bool {
+    !span.is_zero()
+        && span <= MAX_GENERATED_SPAN
+        && severity.is_finite()
+        && (0.0..=1.0).contains(&severity)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn try_generate_never_panics_and_types_every_rejection(
+        seed in any::<u64>(),
+        span_nanos in any::<u64>(),
+        severity_bits in any::<u64>(),
+    ) {
+        let span = SimDuration::from_nanos(span_nanos);
+        let severity = bits_to_f64(severity_bits);
+        match FaultSchedule::try_generate(seed, span, severity) {
+            Ok(schedule) => {
+                prop_assert!(valid_inputs(span, severity));
+                // Every generated window starts inside the span and the
+                // schedule evaluates without panicking.
+                for w in schedule.windows() {
+                    prop_assert!(w.start <= SimTime::ZERO + span);
+                    prop_assert!(!w.duration.is_zero());
+                }
+                let _ = schedule.rate_factor_at(SimTime::ZERO + span.mul_f64(0.5));
+                let _ = schedule.finish_time(SimTime::ZERO, SimDuration::from_nanos(1));
+            }
+            Err(e) => {
+                prop_assert!(!valid_inputs(span, severity), "valid input rejected: {e}");
+                match e {
+                    ScheduleError::ZeroSpan => prop_assert!(span.is_zero()),
+                    ScheduleError::SpanOverflow { .. } => {
+                        prop_assert!(span > MAX_GENERATED_SPAN)
+                    }
+                    ScheduleError::BadSeverity { .. } => prop_assert!(
+                        !severity.is_finite() || !(0.0..=1.0).contains(&severity)
+                    ),
+                    ScheduleError::BadCorrelation { .. } => {
+                        prop_assert!(false, "no correlation parameter here")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_inputs_always_generate_and_reproduce(
+        seed in any::<u64>(),
+        span_secs in 1u64..10_000,
+        severity in 0.0f64..=1.0,
+    ) {
+        let span = SimDuration::from_secs(span_secs);
+        let a = FaultSchedule::try_generate(seed, span, severity);
+        prop_assert!(a.is_ok());
+        prop_assert_eq!(a, FaultSchedule::try_generate(seed, span, severity));
+    }
+
+    #[test]
+    fn channel_try_generate_never_panics(
+        seed in any::<u64>(),
+        span_nanos in any::<u64>(),
+        severity_bits in any::<u64>(),
+    ) {
+        let span = SimDuration::from_nanos(span_nanos);
+        let severity = bits_to_f64(severity_bits);
+        match ChannelFaultSchedule::try_generate(seed, span, severity) {
+            Ok(channel) => {
+                prop_assert!(valid_inputs(span, severity));
+                // Fates are total and deterministic over the whole span.
+                let at = SimTime::ZERO + span.mul_f64(0.5);
+                prop_assert_eq!(channel.fate(at, seed), channel.fate(at, seed));
+            }
+            Err(_) => prop_assert!(!valid_inputs(span, severity)),
+        }
+    }
+
+    #[test]
+    fn fleet_try_generate_never_panics(
+        seed in any::<u64>(),
+        nodes in 0usize..12,
+        span_nanos in any::<u64>(),
+        severity_bits in any::<u64>(),
+        correlation_bits in any::<u64>(),
+    ) {
+        let span = SimDuration::from_nanos(span_nanos);
+        let severity = bits_to_f64(severity_bits);
+        let correlation = bits_to_f64(correlation_bits);
+        let valid = valid_inputs(span, severity)
+            && correlation.is_finite()
+            && (0.0..=1.0).contains(&correlation);
+        match FleetFaultSchedule::try_generate(seed, nodes, span, severity, correlation) {
+            Ok(fleet) => {
+                prop_assert!(valid);
+                prop_assert_eq!(fleet.len(), nodes);
+                let _ = fleet.outages();
+            }
+            Err(_) => prop_assert!(!valid),
+        }
+    }
+}

@@ -114,6 +114,40 @@ pub enum TraceEvent {
         /// The newly negotiated capacity fraction.
         to_factor: f64,
     },
+    /// A tenant's drain-and-migrate handoff window opened: new arrivals
+    /// shed to overflow on the old server until the window closes.
+    DrainStarted {
+        /// Instant the handoff window opens.
+        at: SimTime,
+        /// The draining tenant.
+        tenant: u64,
+        /// Server index being vacated.
+        from_server: usize,
+    },
+    /// A post-handoff arrival was re-admitted on the drain target server.
+    Migrated {
+        /// Arrival instant on the target.
+        at: SimTime,
+        /// Request index within the migrated tail.
+        id: u64,
+        /// The draining tenant.
+        tenant: u64,
+        /// Server index now hosting the tenant.
+        to_server: usize,
+    },
+    /// A tenant's drain completed: every request was either finished on
+    /// the old server (in-flight and window arrivals, the latter at
+    /// overflow class) or re-admitted on the target — none dropped.
+    DrainCompleted {
+        /// Instant the drain accounting closed.
+        at: SimTime,
+        /// The drained tenant.
+        tenant: u64,
+        /// Window arrivals demoted to overflow on the old server.
+        shed: u64,
+        /// Arrivals re-admitted on the target server.
+        migrated: u64,
+    },
 }
 
 impl TraceEvent {
@@ -125,7 +159,10 @@ impl TraceEvent {
             | TraceEvent::Diverted { at, .. }
             | TraceEvent::Dispatched { at, .. }
             | TraceEvent::Completed { at, .. }
-            | TraceEvent::DegradationChanged { at, .. } => at,
+            | TraceEvent::DegradationChanged { at, .. }
+            | TraceEvent::DrainStarted { at, .. }
+            | TraceEvent::Migrated { at, .. }
+            | TraceEvent::DrainCompleted { at, .. } => at,
         }
     }
 
@@ -138,6 +175,9 @@ impl TraceEvent {
             TraceEvent::Dispatched { .. } => "dispatched",
             TraceEvent::Completed { .. } => "completed",
             TraceEvent::DegradationChanged { .. } => "degradation",
+            TraceEvent::DrainStarted { .. } => "drain_started",
+            TraceEvent::Migrated { .. } => "migrated",
+            TraceEvent::DrainCompleted { .. } => "drain_completed",
         }
     }
 
@@ -234,6 +274,46 @@ impl TraceEvent {
                  \"to\":{to_factor}}}",
                 at.as_nanos()
             ),
+            TraceEvent::DrainStarted {
+                at,
+                tenant,
+                from_server,
+            } => write!(
+                out,
+                "{{\"event\":\"drain_started\",\"t_ns\":{},\"tenant\":{},\
+                 \"from_server\":{}}}",
+                at.as_nanos(),
+                tenant,
+                from_server
+            ),
+            TraceEvent::Migrated {
+                at,
+                id,
+                tenant,
+                to_server,
+            } => write!(
+                out,
+                "{{\"event\":\"migrated\",\"t_ns\":{},\"id\":{},\"tenant\":{},\
+                 \"to_server\":{}}}",
+                at.as_nanos(),
+                id,
+                tenant,
+                to_server
+            ),
+            TraceEvent::DrainCompleted {
+                at,
+                tenant,
+                shed,
+                migrated,
+            } => write!(
+                out,
+                "{{\"event\":\"drain_completed\",\"t_ns\":{},\"tenant\":{},\
+                 \"shed\":{},\"migrated\":{}}}",
+                at.as_nanos(),
+                tenant,
+                shed,
+                migrated
+            ),
         };
     }
 }
@@ -261,6 +341,12 @@ pub struct EventCounts {
     pub completed: u64,
     /// `DegradationChanged` events.
     pub degradation_changes: u64,
+    /// `DrainStarted` events.
+    pub drains_started: u64,
+    /// `Migrated` events.
+    pub migrated: u64,
+    /// `DrainCompleted` events.
+    pub drains_completed: u64,
 }
 
 impl EventCounts {
@@ -275,6 +361,9 @@ impl EventCounts {
                 TraceEvent::Dispatched { .. } => c.dispatched += 1,
                 TraceEvent::Completed { .. } => c.completed += 1,
                 TraceEvent::DegradationChanged { .. } => c.degradation_changes += 1,
+                TraceEvent::DrainStarted { .. } => c.drains_started += 1,
+                TraceEvent::Migrated { .. } => c.migrated += 1,
+                TraceEvent::DrainCompleted { .. } => c.drains_completed += 1,
             }
         }
         c
@@ -351,6 +440,54 @@ mod tests {
             .to_string(),
             line
         );
+    }
+
+    #[test]
+    fn drain_events_serialize_and_tally() {
+        let events = [
+            TraceEvent::DrainStarted {
+                at: ms(10),
+                tenant: 3,
+                from_server: 1,
+            },
+            TraceEvent::Migrated {
+                at: ms(12),
+                id: 40,
+                tenant: 3,
+                to_server: 2,
+            },
+            TraceEvent::DrainCompleted {
+                at: ms(15),
+                tenant: 3,
+                shed: 2,
+                migrated: 5,
+            },
+        ];
+        let mut line = String::new();
+        events[0].write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"event\":\"drain_started\",\"t_ns\":10000000,\"tenant\":3,\"from_server\":1}"
+        );
+        line.clear();
+        events[1].write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"event\":\"migrated\",\"t_ns\":12000000,\"id\":40,\"tenant\":3,\"to_server\":2}"
+        );
+        line.clear();
+        events[2].write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"event\":\"drain_completed\",\"t_ns\":15000000,\"tenant\":3,\"shed\":2,\
+             \"migrated\":5}"
+        );
+        let c = EventCounts::tally(&events);
+        assert_eq!(c.drains_started, 1);
+        assert_eq!(c.migrated, 1);
+        assert_eq!(c.drains_completed, 1);
+        assert_eq!(events[0].kind(), "drain_started");
+        assert_eq!(events[1].at(), ms(12));
     }
 
     #[test]

@@ -32,6 +32,6 @@ mod sink;
 mod sketch;
 
 pub use event::{EventCounts, PolicyTag, TraceEvent};
-pub use replay::{ReplayedRun, RequestLifecycle};
+pub use replay::{DrainRecord, ReplayedRun, RequestLifecycle};
 pub use sink::{FileSink, MemorySink, NullSink, TraceHandle, TraceSink};
 pub use sketch::{LatencySketch, RELATIVE_ERROR_BOUND};

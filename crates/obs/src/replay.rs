@@ -35,6 +35,21 @@ pub struct ReplayedRun {
     lifecycles: HashMap<u64, RequestLifecycle>,
     counts: EventCounts,
     degradation_path: Vec<(SimTime, f64)>,
+    drain_log: Vec<DrainRecord>,
+}
+
+/// One drain-and-migrate handoff reconstructed from trace events.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct DrainRecord {
+    /// The draining tenant.
+    pub tenant: u64,
+    /// When the handoff window opened, if a `DrainStarted` was seen.
+    pub started: Option<(SimTime, usize)>,
+    /// When the drain accounting closed, with its shed/migrated totals,
+    /// if a `DrainCompleted` was seen.
+    pub completed: Option<(SimTime, u64, u64)>,
+    /// `Migrated` events observed for the tenant.
+    pub migrated_seen: u64,
 }
 
 impl ReplayedRun {
@@ -82,9 +97,40 @@ impl ReplayedRun {
                 TraceEvent::DegradationChanged { at, to_factor, .. } => {
                     run.degradation_path.push((at, to_factor));
                 }
+                TraceEvent::DrainStarted {
+                    at,
+                    tenant,
+                    from_server,
+                } => {
+                    run.drain_entry(tenant).started = Some((at, from_server));
+                }
+                TraceEvent::Migrated { tenant, .. } => {
+                    run.drain_entry(tenant).migrated_seen += 1;
+                }
+                TraceEvent::DrainCompleted {
+                    at,
+                    tenant,
+                    shed,
+                    migrated,
+                } => {
+                    run.drain_entry(tenant).completed = Some((at, shed, migrated));
+                }
             }
         }
         run
+    }
+
+    fn drain_entry(&mut self, tenant: u64) -> &mut DrainRecord {
+        if let Some(at) = self.drain_log.iter().position(|d| d.tenant == tenant) {
+            return &mut self.drain_log[at];
+        }
+        self.drain_log.push(DrainRecord {
+            tenant,
+            started: None,
+            completed: None,
+            migrated_seen: 0,
+        });
+        self.drain_log.last_mut().expect("just pushed")
     }
 
     fn entry(&mut self, id: u64) -> &mut RequestLifecycle {
@@ -160,6 +206,13 @@ impl ReplayedRun {
     /// order.
     pub fn degradation_path(&self) -> &[(SimTime, f64)] {
         &self.degradation_path
+    }
+
+    /// The drain handoffs seen in the trace, in first-event order. A
+    /// coherent drain has `started` before `completed` and
+    /// `migrated_seen` equal to the completion's migrated total.
+    pub fn drains(&self) -> &[DrainRecord] {
+        &self.drain_log
     }
 
     /// Structural sanity checks on a complete (undropped) trace; returns a
@@ -337,6 +390,52 @@ mod tests {
             },
         ]);
         assert!(run.audit().iter().any(|v| v.contains("class")));
+    }
+
+    #[test]
+    fn drain_records_are_reconstructed_per_tenant() {
+        let events = [
+            TraceEvent::DrainStarted {
+                at: ms(1),
+                tenant: 7,
+                from_server: 0,
+            },
+            TraceEvent::Migrated {
+                at: ms(2),
+                id: 10,
+                tenant: 7,
+                to_server: 3,
+            },
+            TraceEvent::Migrated {
+                at: ms(3),
+                id: 11,
+                tenant: 7,
+                to_server: 3,
+            },
+            TraceEvent::DrainCompleted {
+                at: ms(4),
+                tenant: 7,
+                shed: 1,
+                migrated: 2,
+            },
+            TraceEvent::DrainStarted {
+                at: ms(5),
+                tenant: 9,
+                from_server: 2,
+            },
+        ];
+        let run = ReplayedRun::from_events(&events);
+        let drains = run.drains();
+        assert_eq!(drains.len(), 2);
+        assert_eq!(drains[0].tenant, 7);
+        assert_eq!(drains[0].started, Some((ms(1), 0)));
+        assert_eq!(drains[0].completed, Some((ms(4), 1, 2)));
+        assert_eq!(drains[0].migrated_seen, 2);
+        assert_eq!(drains[1].tenant, 9);
+        assert_eq!(drains[1].completed, None);
+        assert_eq!(run.counts().drains_started, 2);
+        assert_eq!(run.counts().migrated, 2);
+        assert_eq!(run.counts().drains_completed, 1);
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct ShedScheduler<S> {
     /// not reflected into the inner scheduler (which never saw them).
     in_service: HashSet<u64>,
     shed_count: usize,
+    /// When set, every arrival at or after this instant is shed regardless
+    /// of inbox depth — the handoff window of a drain-and-migrate.
+    drain_from: Option<SimTime>,
     trace: TraceHandle,
 }
 
@@ -97,8 +100,24 @@ impl<S: Scheduler> ShedScheduler<S> {
             shed: VecDeque::new(),
             in_service: HashSet::new(),
             shed_count: 0,
+            drain_from: None,
             trace,
         }
+    }
+
+    /// Marks the scheduler as draining from `at`: every arrival at or
+    /// after that instant is shed to the best-effort lane regardless of
+    /// inbox depth, so the inner policy's backlog can only shrink. Already
+    /// admitted requests still run to completion — nothing is dropped.
+    #[must_use]
+    pub fn with_drain_from(mut self, at: SimTime) -> Self {
+        self.drain_from = Some(at);
+        self
+    }
+
+    /// The drain cutover instant, if one is set.
+    pub fn drain_from(&self) -> Option<SimTime> {
+        self.drain_from
     }
 
     /// The wrapped policy scheduler.
@@ -125,7 +144,8 @@ impl<S: Scheduler> ShedScheduler<S> {
 impl<S: Scheduler> Scheduler for ShedScheduler<S> {
     fn on_arrival(&mut self, request: Request, now: SimTime) {
         let depth = self.inner.pending() + self.shed.len();
-        if depth >= self.bound {
+        let draining = self.drain_from.is_some_and(|at| now >= at);
+        if depth >= self.bound || draining {
             self.shed_count += 1;
             self.trace.emit_with(|| TraceEvent::Diverted {
                 at: now,

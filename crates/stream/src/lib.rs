@@ -16,7 +16,10 @@
 //!   (golden-tested in `tests/golden_equiv.rs`);
 //! - [`IngestGateway`] + [`ShedScheduler`] — sharded multi-tenant
 //!   admission with bounded per-tenant inboxes and shed-to-Q2
-//!   backpressure, byte-identical across worker counts.
+//!   backpressure, byte-identical across worker counts; plus
+//!   [`drain_migrate`] — a zero-drop drain-and-migrate handoff that moves
+//!   a live lane between server bins over a [`DrainPlan`] window without
+//!   dropping a single request.
 //!
 //! # Examples
 //!
@@ -46,10 +49,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod drain;
 mod gateway;
 mod shaper;
 mod source;
 
+pub use drain::{drain_migrate, DrainPlan, DrainReport};
 pub use gateway::{IngestGateway, ShedScheduler, TenantReport, TenantSpec};
 pub use shaper::{OnlineShaper, StreamObservation, StreamReport};
 pub use source::{
