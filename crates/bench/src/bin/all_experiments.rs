@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
-//! With `--parallel` (or `--threads <n>`) the twelve sections render
+//! With `--parallel` (or `--threads <n>`) the thirteen sections render
 //! concurrently into per-section buffers and are printed in the fixed
 //! section order, so the output is byte-identical to a serial run.
 
@@ -12,7 +12,7 @@ type Experiment = fn(&ExpConfig) -> String;
 fn main() {
     let cfg = ExpConfig::from_env();
     let rule = "=".repeat(72);
-    let sections: [(&str, Experiment); 12] = [
+    let sections: [(&str, Experiment); 13] = [
         ("Table 1", experiments::table1::report),
         ("Figure 2", experiments::fig2::report),
         ("Figure 4", experiments::fig4::report),
@@ -25,6 +25,7 @@ fn main() {
         ("Stream", experiments::stream::report),
         ("Fleet", experiments::fleet::report),
         ("Control chaos", experiments::control_chaos::report),
+        ("SLO feedback", experiments::slo_feedback::report),
     ];
     let cfg = &cfg;
     let tasks: Vec<_> = sections.iter().map(|&(_, f)| move || f(cfg)).collect();

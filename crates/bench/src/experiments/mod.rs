@@ -13,5 +13,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fleet;
 pub mod run_report;
+pub mod slo_feedback;
 pub mod stream;
 pub mod table1;

@@ -30,6 +30,7 @@ const EXP_CONFIG_BINS: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_multitenant_isolation"),
     ),
     ("run_report", env!("CARGO_BIN_EXE_run_report")),
+    ("slo_bench", env!("CARGO_BIN_EXE_slo_bench")),
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("stream_bench", env!("CARGO_BIN_EXE_stream_bench")),
 ];
@@ -132,6 +133,42 @@ fn custom_parsers_reject_garbage_cleanly() {
         let output = run(bin, &args);
         assert_clean_usage_error(name, &args, &output, "--samples");
     }
+}
+
+#[test]
+fn slo_bench_controller_knobs_reject_garbage_cleanly() {
+    // slo_bench layers --window/--gain/--tenants on the shared parser;
+    // every knob must meet the same exit-2 contract.
+    let bin = env!("CARGO_BIN_EXE_slo_bench");
+    let cases: &[(&[&str], &str)] = &[
+        (&["--window", "abc"], "--window value"),
+        (&["--window", "0"], "--window value"),
+        (&["--window"], "--window requires"),
+        (&["--gain", "8"], "--gain value"),
+        (&["--gain", "-2"], "--gain value"),
+        (&["--gain"], "--gain requires"),
+        (&["--tenants", "0"], "--tenants value"),
+        (&["--tenants", "lots"], "--tenants value"),
+    ];
+    for &(args, needle) in cases {
+        let output = run(bin, args);
+        assert_clean_usage_error("slo_bench", args, &output, needle);
+    }
+    // And the shared out-dir check still guards the custom path.
+    let dir = std::env::temp_dir().join(format!("gqos-slo-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, b"occupied").expect("temp file");
+    let out = file.join("results");
+    let out = out.to_str().expect("utf-8 temp path");
+    let output = run(bin, &["--quick", "--out", out]);
+    assert_clean_usage_error(
+        "slo_bench",
+        &["--quick", "--out", "<file>/results"],
+        &output,
+        "output directory",
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

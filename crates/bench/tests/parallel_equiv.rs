@@ -4,7 +4,7 @@
 
 use std::fs;
 
-use gqos_bench::experiments::{fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, table1};
+use gqos_bench::experiments::{fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, slo_feedback, table1};
 use gqos_bench::ExpConfig;
 use gqos_trace::SimDuration;
 
@@ -75,6 +75,11 @@ fn fig8_serial_parallel_identical() {
 #[test]
 fn fault_sweep_serial_parallel_identical() {
     assert_equivalent("fault_sweep", "fault_sweep", fault_sweep::report);
+}
+
+#[test]
+fn slo_feedback_serial_parallel_identical() {
+    assert_equivalent("slo_feedback", "slo_feedback", slo_feedback::report);
 }
 
 /// The fault-free golden contract at the harness level: severity 0 cells of

@@ -81,6 +81,13 @@ pub enum CommandBody {
         deadline: SimDuration,
         /// The epoch the client believes the tenant is at.
         expect_epoch: u64,
+        /// An explicit capacity share (integer IOPS) to record for the
+        /// tenant — the SLO-window feedback controller's actuation path.
+        /// `None` keeps share bookkeeping untouched (plain SLA
+        /// renegotiation); `Some(s)` requires `s ≥ 1` and that explicit
+        /// shares across the fleet stay within total fleet capacity
+        /// ([`ControlError::ShareOverCommit`] otherwise).
+        share: Option<u64>,
     },
     /// Drain the tenant off its current bin and migrate it to a
     /// different one (zero-drop at the data plane; see
@@ -264,6 +271,16 @@ pub enum ControlError {
     },
     /// `UpdateSla` with a zero deadline.
     BadDeadline,
+    /// `UpdateSla` with an explicit share of zero IOPS.
+    BadShare,
+    /// `UpdateSla` whose explicit share would push the fleet's committed
+    /// shares past its total capacity.
+    ShareOverCommit {
+        /// The share the command asked for.
+        asked: u64,
+        /// The capacity still uncommitted before this command.
+        available: u64,
+    },
     /// The placement layer rejected the operation.
     Placement {
         /// The underlying fleet error.
@@ -299,6 +316,11 @@ impl fmt::Display for ControlError {
                 write!(f, "guaranteed fraction must be in (0, 1]: got {fraction}")
             }
             ControlError::BadDeadline => f.write_str("SLA deadline must be positive"),
+            ControlError::BadShare => f.write_str("capacity share must be at least 1 IOPS"),
+            ControlError::ShareOverCommit { asked, available } => write!(
+                f,
+                "share of {asked} IOPS exceeds the fleet's uncommitted capacity ({available} IOPS)"
+            ),
             ControlError::Placement { error } => write!(f, "placement rejected: {error}"),
         }
     }
@@ -332,6 +354,7 @@ mod tests {
             fraction: 0.9,
             deadline: SimDuration::from_millis(20),
             expect_epoch: 4,
+            share: None,
         };
         assert_eq!(fence.expect_epoch(), Some(4));
         let node = CommandBody::NodeDown { node: 2 };

@@ -173,6 +173,7 @@ impl ChaosScenario {
                         fraction,
                         deadline,
                         expect_epoch: expect,
+                        share: None,
                     },
                 );
                 epochs[pick] += 1;

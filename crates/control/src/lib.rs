@@ -26,6 +26,12 @@
 //!   windows.
 //! - [`ReplanGuard`]: degrade-fast / recover-slow hysteresis so a
 //!   flapping node cannot thrash fleet replanning.
+//! - [`SloController`] ([`slo`]): the QWin-style SLO-window feedback
+//!   loop — per-window integer verdicts over `gqos_obs` latency
+//!   sketches, a bracketed bisection per tenant that provably converges
+//!   to the static quote `Cmin(f, δ)`, retunes issued as epoch-fenced
+//!   share-carrying `UpdateSla` commands, frozen while the degradation
+//!   ladder is below nominal.
 //!
 //! Chaos invariants (pinned in `tests/chaos_props.rs` and exercised by
 //! the `control_chaos` bench): no request is ever dropped by a drain,
@@ -66,6 +72,7 @@ pub mod chaos;
 mod guard;
 mod plane;
 mod retry;
+pub mod slo;
 
 pub use bus::{
     Ack, AckDetail, CommandBody, CommandId, ControlError, ControlRequest, ControlResponse,
@@ -77,3 +84,7 @@ pub use channel::{
 pub use guard::ReplanGuard;
 pub use plane::{ControlPlane, PlaneStats};
 pub use retry::RetryPolicy;
+pub use slo::{
+    drift_pattern, synth_window_sketch, SloConfig, SloController, SloRun, SloScenario,
+    SloScenarioConfig, SloStats, SloTarget, WindowRecord, WindowVerdict, GROWTH_DEN,
+};

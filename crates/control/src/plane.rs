@@ -61,6 +61,11 @@ pub struct ControlPlane {
     retired: BTreeMap<TenantId, u64>,
     placement: Placement,
     cache: QuoteCache,
+    /// Explicit per-tenant capacity shares (integer IOPS) recorded by
+    /// share-carrying `UpdateSla` commands — the SLO-window feedback
+    /// controller's ledger. Invariant: values sum to at most the fleet's
+    /// total capacity (`server_capacity × servers`).
+    shares: BTreeMap<TenantId, u64>,
     /// Per-deadline caches for renegotiated SLA quotes at deadlines other
     /// than the fleet target's, keyed by deadline nanoseconds.
     sla_caches: BTreeMap<u64, QuoteCache>,
@@ -93,6 +98,7 @@ impl ControlPlane {
             retired: BTreeMap::new(),
             placement,
             cache,
+            shares: BTreeMap::new(),
             sla_caches: BTreeMap::new(),
             applied: BTreeMap::new(),
             epoch_log: Vec::new(),
@@ -143,6 +149,23 @@ impl ControlPlane {
         self.slas.get(&tenant).copied()
     }
 
+    /// A tenant's explicitly recorded capacity share, if a share-carrying
+    /// `UpdateSla` has been applied for it.
+    pub fn share_of(&self, tenant: TenantId) -> Option<u64> {
+        self.shares.get(&tenant).copied()
+    }
+
+    /// Every explicitly recorded capacity share, ascending by tenant.
+    pub fn shares(&self) -> Vec<(TenantId, u64)> {
+        self.shares.iter().map(|(&t, &s)| (t, s)).collect()
+    }
+
+    /// The fleet's total capacity in integer IOPS: `server_capacity ×
+    /// servers`, the ceiling explicit shares must stay within.
+    pub fn fleet_capacity(&self) -> u64 {
+        self.placer.server_capacity() * self.servers as u64
+    }
+
     /// Every epoch ever logged, in application order — the monotonicity
     /// witness: per tenant, entries are strictly increasing.
     pub fn epoch_log(&self) -> &[(TenantId, u64)] {
@@ -188,7 +211,8 @@ impl ControlPlane {
                 fraction,
                 deadline,
                 expect_epoch,
-            } => self.update_sla(*tenant, *fraction, *deadline, *expect_epoch),
+                share,
+            } => self.update_sla(*tenant, *fraction, *deadline, *expect_epoch, *share),
             CommandBody::DrainTenant {
                 tenant,
                 expect_epoch,
@@ -243,6 +267,7 @@ impl ControlPlane {
         self.retired.insert(tenant, t.epoch());
         self.tenants.remove(&tenant);
         self.slas.remove(&tenant);
+        self.shares.remove(&tenant);
         Ok(Ack {
             epoch: None,
             detail: AckDetail::Removed { from },
@@ -255,6 +280,7 @@ impl ControlPlane {
         fraction: f64,
         deadline: SimDuration,
         expect: u64,
+        share: Option<u64>,
     ) -> Result<Ack, ControlError> {
         if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
             return Err(ControlError::BadSla { fraction });
@@ -263,12 +289,32 @@ impl ControlPlane {
             return Err(ControlError::BadDeadline);
         }
         self.fence(tenant, expect)?;
+        if let Some(asked) = share {
+            if asked == 0 {
+                return Err(ControlError::BadShare);
+            }
+            // The fleet-capacity invariant: explicit shares (with this
+            // tenant's own prior share released) must fit the fleet.
+            let committed: u64 = self
+                .shares
+                .iter()
+                .filter(|&(&id, _)| id != tenant)
+                .map(|(_, &s)| s)
+                .sum();
+            let available = self.fleet_capacity().saturating_sub(committed);
+            if asked > available {
+                return Err(ControlError::ShareOverCommit { asked, available });
+            }
+        }
         let t = self.tenants.get_mut(&tenant).expect("fenced above");
         t.bump_epoch();
         let epoch = t.epoch();
         let t = t.clone();
         self.epoch_log.push((tenant, epoch));
         self.slas.insert(tenant, QosTarget::new(fraction, deadline));
+        if let Some(asked) = share {
+            self.shares.insert(tenant, asked);
+        }
         // Quote Cmin(f, δ) under the renegotiated target. The fleet
         // cache answers when δ matches the fleet deadline (the epoch
         // bump has already invalidated exactly this tenant's entries);
@@ -426,7 +472,12 @@ impl ControlPlane {
                 .placement
                 .server_of(id)
                 .map_or_else(|| "-".to_string(), |n| n.to_string());
-            let _ = writeln!(out, "{id} epoch={epoch} node={node} cmin={quote}");
+            // Shares render only when explicitly recorded, so share-free
+            // histories keep their pre-ledger summary bytes.
+            let share = self
+                .share_of(id)
+                .map_or_else(String::new, |s| format!(" share={s}"));
+            let _ = writeln!(out, "{id} epoch={epoch} node={node} cmin={quote}{share}");
         }
         out
     }
@@ -480,6 +531,7 @@ mod tests {
                 fraction: 0.95,
                 deadline: SimDuration::from_millis(20),
                 expect_epoch: 0,
+                share: None,
             },
         );
         assert!(p.apply(&bump, SimTime::ZERO).outcome.is_ok());
@@ -492,6 +544,7 @@ mod tests {
                 fraction: 0.8,
                 deadline: SimDuration::from_millis(20),
                 expect_epoch: 0,
+                share: None,
             },
         );
         let out = p.apply(&stale, SimTime::ZERO);
@@ -518,6 +571,7 @@ mod tests {
                 fraction: 0.95,
                 deadline: SimDuration::from_millis(20),
                 expect_epoch: 0,
+                share: None,
             },
         );
         p.apply(&bump, SimTime::ZERO);
@@ -634,6 +688,7 @@ mod tests {
                     fraction: 0.95,
                     deadline: SimDuration::from_millis(20),
                     expect_epoch: 0,
+                    share: None,
                 },
             ),
             SimTime::ZERO,

@@ -92,6 +92,7 @@ fn update_sla_through_the_plane_fences_and_invalidates_precisely() {
             fraction: 0.9,
             deadline: SimDuration::from_millis(20),
             expect_epoch: 0,
+            share: None,
         },
     );
     let out = plane.apply(&update, SimTime::ZERO);
@@ -127,6 +128,7 @@ fn update_sla_through_the_plane_fences_and_invalidates_precisely() {
             fraction: 0.8,
             deadline: SimDuration::from_millis(20),
             expect_epoch: 0,
+            share: None,
         },
     );
     assert_eq!(

@@ -149,6 +149,15 @@ impl DegradationController {
         self.estimator.estimate()
     }
 
+    /// `true` while the ladder sits below the nominal rung — the freeze
+    /// signal for the SLO-window feedback controller's non-interference
+    /// rule: latencies observed against a degraded server say nothing
+    /// about a tenant's *share*, so the share loop must hold rather than
+    /// fight the ladder's renegotiation.
+    pub fn is_degraded(&self) -> bool {
+        self.level > 0
+    }
+
     /// Folds one completion into the estimate; returns the new factor if
     /// the graduated level changed.
     pub fn observe(&mut self, observed: SimDuration, nominal: SimDuration) -> Option<f64> {

@@ -16,6 +16,11 @@
 //!   error of [`RELATIVE_ERROR_BOUND`] (3.125%), pure integer bucketing,
 //!   and an exact [`merge`](LatencySketch::merge) for combining per-worker
 //!   shards from parallel runs.
+//! - **Windows** ([`WindowedSketch`]): the same sketch partitioned into
+//!   fixed-width feedback windows, losslessly (merging every window
+//!   snapshot reproduces the unwindowed sketch bit for bit), with a typed
+//!   no-signal outcome for all-empty windows so feedback controllers never
+//!   mistake a quiet window's empty-sketch zero quantile for a latency.
 //! - **Replay** ([`ReplayedRun`]): rebuilds per-request lifecycles from a
 //!   trace and independently re-derives miss fractions and percentiles, so
 //!   reported aggregates can be audited against the raw event stream.
@@ -30,8 +35,10 @@ mod event;
 mod replay;
 mod sink;
 mod sketch;
+mod window;
 
 pub use event::{EventCounts, PolicyTag, TraceEvent};
 pub use replay::{DrainRecord, ReplayedRun, RequestLifecycle};
 pub use sink::{FileSink, MemorySink, NullSink, TraceHandle, TraceSink};
 pub use sketch::{LatencySketch, RELATIVE_ERROR_BOUND};
+pub use window::{WindowSnapshot, WindowedSketch};

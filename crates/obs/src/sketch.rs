@@ -191,6 +191,23 @@ impl LatencySketch {
         self.max
     }
 
+    /// The number of recorded values `<= threshold`, up to bucket
+    /// resolution: exact whenever `threshold` falls on a bucket boundary,
+    /// otherwise counts whole buckets with upper bound `<= threshold`.
+    ///
+    /// Pure integer arithmetic — the SLO-window feedback controller
+    /// compares `count_at_most(δ) × denom` against `f_num × count()` in
+    /// `u128` so its verdicts are exactly reproducible.
+    pub fn count_at_most(&self, threshold: u64) -> u64 {
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 && Self::bucket_upper(i) <= threshold {
+                below += c;
+            }
+        }
+        below
+    }
+
     /// The exact fraction of recorded values `<= threshold`, up to bucket
     /// resolution: exact whenever `threshold` falls on a bucket boundary,
     /// otherwise counts whole buckets with upper bound `<= threshold`.
@@ -198,13 +215,7 @@ impl LatencySketch {
         if self.is_empty() {
             return 1.0;
         }
-        let mut below = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if c != 0 && Self::bucket_upper(i) <= threshold {
-                below += c;
-            }
-        }
-        below as f64 / self.total as f64
+        self.count_at_most(threshold) as f64 / self.total as f64
     }
 
     /// Adds all of `other`'s recorded values into `self`.

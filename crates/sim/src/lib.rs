@@ -61,5 +61,5 @@ pub use streaming::StreamingSimulation;
 // traces and read sketches without naming gqos-obs directly.
 pub use gqos_obs::{
     EventCounts, FileSink, LatencySketch, MemorySink, NullSink, PolicyTag, ReplayedRun, TraceEvent,
-    TraceHandle, TraceSink,
+    TraceHandle, TraceSink, WindowSnapshot, WindowedSketch,
 };

@@ -28,9 +28,9 @@ use gqos_core::RecombinePolicy;
 use gqos_parallel::WorkerPool;
 use gqos_sim::{
     CompletionRecord, Dispatch, LatencySketch, Scheduler, ServerId, ServiceClass,
-    StreamingSimulation, TraceEvent, TraceHandle,
+    StreamingSimulation, TraceEvent, TraceHandle, WindowSnapshot, WindowedSketch,
 };
-use gqos_trace::{Request, SimTime, Workload};
+use gqos_trace::{Request, SimDuration, SimTime, Workload};
 
 use crate::shaper::policy_parts;
 use crate::source::{ArrivalStream, WorkloadStream};
@@ -225,6 +225,31 @@ pub struct TenantReport {
     /// Every completion record, in completion order — the byte-identity
     /// witness for determinism checks across worker counts.
     pub records: Vec<CompletionRecord>,
+}
+
+impl TenantReport {
+    /// The gateway's feedback tap for the SLO-window controller:
+    /// partitions this lane's response times into fixed `window`-wide
+    /// sketches keyed by **completion instant**, quiet windows included
+    /// (they surface as typed no-signal snapshots, never a zero
+    /// quantile — see [`WindowSnapshot::signal`]).
+    ///
+    /// Lossless by construction: merging every returned snapshot
+    /// reproduces [`TenantReport::sketch`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn window_feedback(&self, window: SimDuration) -> Vec<WindowSnapshot> {
+        let mut windowed = WindowedSketch::new(window);
+        let mut out = Vec::new();
+        for r in &self.records {
+            let latency = r.response_time().as_nanos();
+            out.extend(windowed.record(r.completion, latency));
+        }
+        out.push(windowed.finish());
+        out
+    }
 }
 
 /// A sharded admission gateway: runs each tenant lane independently on a
