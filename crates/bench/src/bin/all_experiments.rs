@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
-//! With `--parallel` (or `--threads <n>`) the thirteen sections render
+//! With `--parallel` (or `--threads <n>`) the fourteen sections render
 //! concurrently into per-section buffers and are printed in the fixed
 //! section order, so the output is byte-identical to a serial run.
 
@@ -12,7 +12,7 @@ type Experiment = fn(&ExpConfig) -> String;
 fn main() {
     let cfg = ExpConfig::from_env();
     let rule = "=".repeat(72);
-    let sections: [(&str, Experiment); 13] = [
+    let sections: [(&str, Experiment); 14] = [
         ("Table 1", experiments::table1::report),
         ("Figure 2", experiments::fig2::report),
         ("Figure 4", experiments::fig4::report),
@@ -26,6 +26,7 @@ fn main() {
         ("Fleet", experiments::fleet::report),
         ("Control chaos", experiments::control_chaos::report),
         ("SLO feedback", experiments::slo_feedback::report),
+        ("Long-term stats", experiments::longterm_stats::report),
     ];
     let cfg = &cfg;
     let tasks: Vec<_> = sections.iter().map(|&(_, f)| move || f(cfg)).collect();

@@ -1,0 +1,224 @@
+//! `gqos_top` — an lqtop-style operator view over the retention store.
+//!
+//! Runs the same gateway fleet as the `longterm_stats` experiment, feeds
+//! every lane's window feedback into the tiered [`LongTermStore`], then
+//! replays the run's timeline as a fixed number of frames. Each frame
+//! shows, per tenant:
+//!
+//! - a p99 sparkline over the heat cells visible so far (`.` quiet,
+//!   `!` evicted, `_` through `#` scaled to the tenant's run maximum);
+//! - the latest cell's request count and p99;
+//! - the tenant's current **rung** on the graduated-QoS ladder, judged
+//!   from the latest cell's p99 against the lanes' 50 ms deadline:
+//!   `slack` (≤ 3δ/4), `meet` (≤ δ), `miss` (> δ), `quiet`, `evicted`;
+//! - the drift of recent p99 against all-time, in ppm.
+//!
+//! This is a *replay*, not a poll: the run finishes first, so the frames
+//! are deterministic (byte-identical across runs and `--threads`
+//! counts) and timings go to stderr only.
+//!
+//! On top of the shared experiment flags:
+//!
+//! - `--frames <n>` — timeline frames to render (default 6, must be ≥ 1);
+//! - `--window <ms>` — feedback window fed into the store (default 250;
+//!   must divide 1000).
+//!
+//! Malformed values exit with status 2 and a usage line, like every
+//! experiment binary — the contract `tests/cli_errors.rs` pins.
+//!
+//! [`LongTermStore`]: gqos_sim::LongTermStore
+
+use std::time::Instant;
+
+use gqos_bench::experiments::longterm_stats::{
+    self, DRIFT_RECENT_SECS, FEED_WINDOW_MS, LONGTERM_DEADLINE_MS,
+};
+use gqos_bench::output::Table;
+use gqos_bench::{exit_usage, ExpConfig};
+use gqos_trace::{SimDuration, SimTime};
+
+/// Extracts `flag <integer>` from `args`, removing both tokens. Exits
+/// with usage status 2 on a missing or non-integer value.
+fn take_integer(args: &mut Vec<String>, flag: &'static str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        exit_usage(&format!("{flag} requires an integer value"));
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => exit_usage(&format!(
+            "{flag} value must be a non-negative integer (got `{raw}`)"
+        )),
+    }
+}
+
+/// One sparkline character for a heat cell, scaled to `max` (the
+/// tenant's largest cell p99 across the whole run).
+fn spark(point: &gqos_sim::SeriesPoint, max: u64) -> char {
+    const LEVELS: [char; 6] = ['_', '-', '=', '+', '*', '#'];
+    if !point.covered {
+        return '!';
+    }
+    match point.quantile {
+        None => '.',
+        Some(q) => {
+            let idx = if max == 0 {
+                0
+            } else {
+                ((q as u128 * (LEVELS.len() as u128 - 1)).div_ceil(max as u128)) as usize
+            };
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        }
+    }
+}
+
+/// The graduated-QoS rung of one cell, judged from its p99 against the
+/// deadline δ: `slack` within 3δ/4, `meet` within δ, `miss` beyond.
+fn rung(point: &gqos_sim::SeriesPoint, deadline: SimDuration) -> &'static str {
+    if !point.covered {
+        return "evicted";
+    }
+    match point.quantile {
+        None => "quiet",
+        Some(q) => {
+            if q <= deadline.as_nanos() / 4 * 3 {
+                "slack"
+            } else if q <= deadline.as_nanos() {
+                "meet"
+            } else {
+                "miss"
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut frames = 6u64;
+    if let Some(n) = take_integer(&mut args, "--frames") {
+        if n == 0 {
+            exit_usage("--frames value must be at least 1");
+        }
+        frames = n;
+    }
+    let mut window_ms = FEED_WINDOW_MS;
+    if let Some(ms) = take_integer(&mut args, "--window") {
+        if ms == 0 || 1000 % ms != 0 {
+            exit_usage(&format!(
+                "--window value must be a divisor of 1000 ms for exact tier-0 attribution (got {ms})"
+            ));
+        }
+        window_ms = ms;
+    }
+    let cfg = ExpConfig::try_parse(args).unwrap_or_else(|err| exit_usage(&err.to_string()));
+    if let Err(err) = std::fs::create_dir_all(&cfg.out_dir) {
+        exit_usage(&format!(
+            "cannot create output directory `{}`: {err}",
+            cfg.out_dir
+        ));
+    }
+
+    let start = Instant::now();
+    let outcome = longterm_stats::compute(&cfg, SimDuration::from_millis(window_ms));
+    let deadline = SimDuration::from_millis(LONGTERM_DEADLINE_MS);
+    let res = outcome.resolution;
+    let total_cells = (outcome.end.as_nanos() / res.as_nanos()).max(1);
+    println!(
+        "gqos_top: {} tenants, {} cells of {} s, deadline {} ms  [{cfg}]",
+        outcome.reports.len(),
+        total_cells,
+        res.as_nanos() / 1_000_000_000,
+        LONGTERM_DEADLINE_MS
+    );
+    // Each tenant's sparkline scale: its largest cell p99 over the run.
+    let full: Vec<Vec<gqos_sim::SeriesPoint>> = outcome
+        .reports
+        .iter()
+        .map(|r| {
+            outcome
+                .store
+                .p99_over(&r.name, SimTime::ZERO, outcome.end, res)
+        })
+        .collect();
+    let scales: Vec<u64> = full
+        .iter()
+        .map(|series| series.iter().filter_map(|p| p.quantile).max().unwrap_or(0))
+        .collect();
+    for frame in 1..=frames {
+        let cells = (total_cells * frame).div_ceil(frames).max(1);
+        let horizon = SimTime::from_nanos(cells * res.as_nanos());
+        println!();
+        println!(
+            "frame {frame}/{frames}  t = {} s",
+            horizon.as_nanos() / 1_000_000_000
+        );
+        let mut table = Table::new(vec![
+            "tenant".into(),
+            "p99 trail".into(),
+            "count".into(),
+            "p99 us".into(),
+            "rung".into(),
+            "drift ppm".into(),
+        ]);
+        for (tenant, (series, &scale)) in outcome.reports.iter().zip(full.iter().zip(&scales)) {
+            let visible = &series[..cells as usize];
+            let latest = visible.last().expect("at least one cell");
+            let trail: String = visible.iter().map(|p| spark(p, scale)).collect();
+            let drift = if frame == frames {
+                outcome
+                    .store
+                    .drift_ppm(
+                        &tenant.name,
+                        0.99,
+                        SimDuration::from_secs(DRIFT_RECENT_SECS),
+                    )
+                    .map_or("n/a".to_string(), |d| format!("{d:+}"))
+            } else {
+                // Drift reads the store's live horizon; mid-replay frames
+                // show the ladder only.
+                "-".to_string()
+            };
+            table.row(vec![
+                tenant.name.clone(),
+                trail,
+                latest.count.to_string(),
+                latest
+                    .quantile
+                    .map_or("-".to_string(), |q| (q / 1_000).to_string()),
+                rung(latest, deadline).to_string(),
+                drift,
+            ]);
+        }
+        print!("{}", table.render());
+    }
+    println!();
+    println!(
+        "verdict stream: {}",
+        full.iter()
+            .zip(&outcome.reports)
+            .map(|(series, r)| {
+                let worst = series
+                    .iter()
+                    .map(|p| rung(p, deadline))
+                    .max_by_key(|&label| match label {
+                        "miss" => 3,
+                        "meet" => 2,
+                        "slack" => 1,
+                        _ => 0,
+                    })
+                    .unwrap_or("quiet");
+                format!("{}={worst}", r.name)
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let elapsed = start.elapsed();
+    eprintln!(
+        "gqos_top: replayed {} frames in {:.1} ms at {} worker(s)",
+        frames,
+        elapsed.as_secs_f64() * 1e3,
+        cfg.threads
+    );
+}

@@ -1,0 +1,69 @@
+//! Long-horizon retention report plus its wall-clock headline numbers.
+//!
+//! Stdout carries only the deterministic report of
+//! [`experiments::longterm_stats`] (byte-identical across runs and
+//! thread counts); timings go to stderr.
+//!
+//! On top of the shared experiment flags, one knob:
+//!
+//! - `--window <ms>` — feedback window fed into the store (default 250;
+//!   must be ≥ 1 and divide 1000, so windows attribute exactly to the
+//!   1 s tier-0 buckets).
+//!
+//! Malformed values exit with status 2 and a usage line, like every
+//! experiment binary — the contract `tests/cli_errors.rs` pins.
+
+use std::time::Instant;
+
+use gqos_bench::experiments::{self, longterm_stats};
+use gqos_bench::{exit_usage, ExpConfig};
+use gqos_trace::SimDuration;
+
+/// Extracts `flag <integer>` from `args`, removing both tokens. Exits
+/// with usage status 2 on a missing or non-integer value.
+fn take_integer(args: &mut Vec<String>, flag: &'static str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        exit_usage(&format!("{flag} requires an integer value"));
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => exit_usage(&format!(
+            "{flag} value must be a non-negative integer (got `{raw}`)"
+        )),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut window_ms = experiments::longterm_stats::FEED_WINDOW_MS;
+    if let Some(ms) = take_integer(&mut args, "--window") {
+        if ms == 0 || 1000 % ms != 0 {
+            exit_usage(&format!(
+                "--window value must be a divisor of 1000 ms for exact tier-0 attribution (got {ms})"
+            ));
+        }
+        window_ms = ms;
+    }
+    let cfg = ExpConfig::try_parse(args).unwrap_or_else(|err| exit_usage(&err.to_string()));
+    if let Err(err) = std::fs::create_dir_all(&cfg.out_dir) {
+        exit_usage(&format!(
+            "cannot create output directory `{}`: {err}",
+            cfg.out_dir
+        ));
+    }
+
+    let start = Instant::now();
+    print!(
+        "{}",
+        longterm_stats::report_with(&cfg, SimDuration::from_millis(window_ms))
+    );
+    let elapsed = start.elapsed();
+    eprintln!(
+        "longterm_stats: gateway + retention executed in {:.1} ms at {} worker(s)",
+        elapsed.as_secs_f64() * 1e3,
+        cfg.threads
+    );
+}

@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fleet;
+pub mod longterm_stats;
 pub mod run_report;
 pub mod slo_feedback;
 pub mod stream;

@@ -339,7 +339,9 @@ pub fn report_with(cfg: &ExpConfig, opts: SloOptions) -> String {
             ]);
         }
     }
-    let path = csv.write("slo_feedback", &rows).expect("write slo_feedback");
+    let path = csv
+        .write("slo_feedback", &rows)
+        .expect("write slo_feedback");
     outln!(out, "wrote {}", path.display());
     out
 }

@@ -25,6 +25,8 @@ const EXP_CONFIG_BINS: &[(&str, &str)] = &[
     ("fig7_same_mux", env!("CARGO_BIN_EXE_fig7_same_mux")),
     ("fig8_diff_mux", env!("CARGO_BIN_EXE_fig8_diff_mux")),
     ("fleet_bench", env!("CARGO_BIN_EXE_fleet_bench")),
+    ("gqos_top", env!("CARGO_BIN_EXE_gqos_top")),
+    ("longterm_stats", env!("CARGO_BIN_EXE_longterm_stats")),
     (
         "multitenant_isolation",
         env!("CARGO_BIN_EXE_multitenant_isolation"),
@@ -169,6 +171,43 @@ fn slo_bench_controller_knobs_reject_garbage_cleanly() {
         "output directory",
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn longterm_knobs_reject_garbage_cleanly() {
+    // gqos_top and longterm_stats layer --frames/--window on the shared
+    // parser; every knob must meet the same exit-2 contract.
+    let top = env!("CARGO_BIN_EXE_gqos_top");
+    let stats = env!("CARGO_BIN_EXE_longterm_stats");
+    let cases: &[(&str, &str, &[&str], &str)] = &[
+        ("gqos_top", top, &["--frames", "0"], "--frames value"),
+        ("gqos_top", top, &["--frames", "lots"], "--frames value"),
+        ("gqos_top", top, &["--frames"], "--frames requires"),
+        ("gqos_top", top, &["--window", "300"], "divisor of 1000"),
+        (
+            "longterm_stats",
+            stats,
+            &["--window", "0"],
+            "--window value",
+        ),
+        (
+            "longterm_stats",
+            stats,
+            &["--window", "abc"],
+            "--window value",
+        ),
+        ("longterm_stats", stats, &["--window"], "--window requires"),
+        (
+            "longterm_stats",
+            stats,
+            &["--window", "7"],
+            "divisor of 1000",
+        ),
+    ];
+    for &(name, bin, args, needle) in cases {
+        let output = run(bin, args);
+        assert_clean_usage_error(name, args, &output, needle);
+    }
 }
 
 #[test]

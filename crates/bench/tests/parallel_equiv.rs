@@ -4,7 +4,9 @@
 
 use std::fs;
 
-use gqos_bench::experiments::{fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, slo_feedback, table1};
+use gqos_bench::experiments::{
+    fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, slo_feedback, table1,
+};
 use gqos_bench::ExpConfig;
 use gqos_trace::SimDuration;
 
@@ -80,6 +82,15 @@ fn fault_sweep_serial_parallel_identical() {
 #[test]
 fn slo_feedback_serial_parallel_identical() {
     assert_equivalent("slo_feedback", "slo_feedback", slo_feedback::report);
+}
+
+/// The retention store joins the contract: the long-term report and
+/// `longterm_stats.csv` must be byte-identical at any thread count —
+/// the gateway's positional reports make the feed order worker-blind.
+#[test]
+fn longterm_stats_serial_parallel_identical() {
+    use gqos_bench::experiments::longterm_stats;
+    assert_equivalent("longterm_stats", "longterm_stats", longterm_stats::report);
 }
 
 /// The fault-free golden contract at the harness level: severity 0 cells of

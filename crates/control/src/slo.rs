@@ -59,7 +59,7 @@ use gqos_core::{
     QosTarget, TenantId,
 };
 use gqos_faults::{splitmix64, ChannelFaultSchedule};
-use gqos_obs::{LatencySketch, WindowSnapshot};
+use gqos_obs::{LatencySketch, LongTermStore, RetentionConfig, WindowSnapshot};
 use gqos_parallel::WorkerPool;
 use gqos_trace::{Iops, SimDuration, SimTime, Workload};
 
@@ -74,7 +74,7 @@ pub const GROWTH_DEN: u32 = 8;
 
 /// Salt separating the scenario's drift-pattern stream from its other
 /// seeded draws.
-const PATTERN_SALT: u64 = 0x51_0A77E2_D01F_EED5;
+const PATTERN_SALT: u64 = 0x510A_77E2_D01F_EED5;
 /// Salt separating the scenario's channel-fault seed stream.
 const CHANNEL_SALT: u64 = 0x51_0C4A_77E1_5EED;
 /// Command-id namespace for controller-issued renegotiations — above any
@@ -301,6 +301,11 @@ pub struct SloController {
     /// Issued command id → the tenant it renegotiates.
     owners: BTreeMap<CommandId, TenantId>,
     stats: SloStats,
+    /// Optional long-horizon retention tap (off by default). Strictly
+    /// observational: feeding it never alters a verdict, a bracket, or a
+    /// command — the differential harness pins byte-identity with and
+    /// without it.
+    history: Option<LongTermStore<TenantId>>,
 }
 
 impl SloController {
@@ -314,7 +319,45 @@ impl SloController {
             loops: BTreeMap::new(),
             owners: BTreeMap::new(),
             stats: SloStats::default(),
+            history: None,
         }
+    }
+
+    /// Attaches a [`LongTermStore`] retention ladder, so every window fed
+    /// through [`observe_snapshot`](Self::observe_snapshot) or
+    /// [`ingest_window`](Self::ingest_window) also lands in a tiered,
+    /// fixed-memory history. The history is **read-only context**: it
+    /// informs operators (and [`drift_context`](Self::drift_context))
+    /// but never changes what the loop commands.
+    #[must_use]
+    pub fn with_history(mut self, config: RetentionConfig) -> Self {
+        self.history = Some(LongTermStore::new(config));
+        self
+    }
+
+    /// The attached long-horizon history, if any.
+    pub fn history(&self) -> Option<&LongTermStore<TenantId>> {
+        self.history.as_ref()
+    }
+
+    /// Feeds one window sketch observed at `at` into the attached
+    /// history; a no-op without one. Windows must arrive time-ordered
+    /// per tenant (the windowed-sketch tap guarantees this).
+    pub fn ingest_window(&mut self, tenant: TenantId, at: SimTime, sketch: &LatencySketch) {
+        if let Some(history) = self.history.as_mut() {
+            history
+                .ingest(&tenant, at, sketch)
+                .expect("controller windows are time-ordered");
+        }
+    }
+
+    /// Drift context from the attached history: how far the recent
+    /// quantile `q` over the trailing `recent` span sits from the
+    /// all-time quantile, in ppm of the all-time value (positive =
+    /// recent is slower). `None` without a history or before it holds
+    /// data. Purely advisory — the bisection never reads it.
+    pub fn drift_context(&self, tenant: TenantId, q: f64, recent: SimDuration) -> Option<i64> {
+        self.history.as_ref()?.drift_ppm(&tenant, q, recent)
     }
 
     /// The controller's tuning.
@@ -395,13 +438,21 @@ impl SloController {
         self.observe_verdict(tenant, WindowVerdict::classify(signal, slo), degraded)
     }
 
-    /// [`observe`](Self::observe) straight off a windowed snapshot.
+    /// [`observe`](Self::observe) straight off a windowed snapshot. With
+    /// a history attached ([`with_history`](Self::with_history)) the
+    /// snapshot is also retained long-term — the decision itself is
+    /// byte-identical either way.
     pub fn observe_snapshot(
         &mut self,
         tenant: TenantId,
         snapshot: &WindowSnapshot,
         degraded: bool,
     ) -> Option<ControlRequest> {
+        if let Some(history) = self.history.as_mut() {
+            history
+                .ingest_snapshot(&tenant, snapshot)
+                .expect("window feedback snapshots are time-ordered");
+        }
         self.observe(tenant, snapshot.signal(), degraded)
     }
 
@@ -701,7 +752,11 @@ pub fn drift_pattern(seed: u64, tenant: usize, segment: usize, window: SimDurati
 /// band (`3δ/8`, `7δ/8`, `2δ`). [`WindowVerdict::classify`] recovers
 /// exactly those counts, so the sketch path and the planner predicate
 /// agree bit for bit. Empty patterns yield the typed no-signal.
-pub fn synth_window_sketch(offsets: &[u64], capacity: u64, slo: SloTarget) -> Option<LatencySketch> {
+pub fn synth_window_sketch(
+    offsets: &[u64],
+    capacity: u64,
+    slo: SloTarget,
+) -> Option<LatencySketch> {
     if offsets.is_empty() {
         return None;
     }
@@ -824,8 +879,8 @@ impl SloScenario {
         let slo = cfg.slo;
         let target = QosTarget::new(slo.fraction(), slo.deadline());
         let placer = FleetPlacer::new(target, Iops::new(cfg.server_capacity as f64));
-        let mut plane = ControlPlane::new(placer, cfg.servers, pool.clone())
-            .expect("scenario fleets have servers");
+        let mut plane =
+            ControlPlane::new(placer, cfg.servers, pool).expect("scenario fleets have servers");
         // Static quotes from the first segment: both arms start from the
         // same declared-workload provisioning.
         let initial: Vec<u64> = (0..cfg.tenants)
@@ -867,8 +922,8 @@ impl SloScenario {
         let total_windows = cfg.segments as u32 * cfg.windows_per_segment;
         for w in 0..total_windows {
             let segment = (w / cfg.windows_per_segment) as usize;
-            let end = SimTime::ZERO
-                + SimDuration::from_nanos(cfg.window.as_nanos() * (u64::from(w) + 1));
+            let end =
+                SimTime::ZERO + SimDuration::from_nanos(cfg.window.as_nanos() * (u64::from(w) + 1));
             let pct = if (cfg.degraded_from..cfg.degraded_until).contains(&w) {
                 cfg.degraded_factor_pct
             } else {
@@ -884,11 +939,7 @@ impl SloScenario {
             let frozen = ladder.is_degraded();
             factors.push((ladder.factor() * 100.0).round() as u32);
             let applied: Vec<u64> = (0..cfg.tenants)
-                .map(|t| {
-                    plane
-                        .share_of(TenantId::new(t))
-                        .unwrap_or(initial[t])
-                })
+                .map(|t| plane.share_of(TenantId::new(t)).unwrap_or(initial[t]))
                 .collect();
             // The analytic data plane: each tenant served at its applied
             // share scaled by the server factor. Positional pool map
@@ -1255,6 +1306,58 @@ mod tests {
         assert!(c.observe_verdict(t, WindowVerdict::Miss, true).is_none());
         assert_eq!(c.stats().frozen, 1);
         assert_eq!(c.share_of(t), Some(400), "frozen loops never move");
+    }
+
+    #[test]
+    fn history_is_observational_only_and_yields_drift_context() {
+        use gqos_obs::WindowedSketch;
+        // Two controllers fed the same snapshot stream — one with a
+        // retention tap attached — must issue the exact same commands:
+        // the history is context, never control input.
+        let mut plain = SloController::new(SloConfig::new(100_000), 1_000);
+        let mut tapped = SloController::new(SloConfig::new(100_000), 1_000)
+            .with_history(RetentionConfig::default_tiers());
+        let t = TenantId::new(0);
+        plain.register(t, slo(), 400, 0);
+        tapped.register(t, slo(), 400, 0);
+        assert!(plain.history().is_none());
+
+        let window = SimDuration::from_millis(100);
+        let mut windowed = WindowedSketch::new(window);
+        // 200 windows: fast latencies early (slack), slow late (miss),
+        // so the loop moves in both regimes while history accumulates.
+        for w in 0..200u64 {
+            let latency = if w < 120 {
+                SimDuration::from_millis(2).as_nanos()
+            } else {
+                SimDuration::from_millis(40).as_nanos()
+            };
+            let at = SimTime::from_nanos(w * window.as_nanos());
+            for k in 0..10u64 {
+                let off = SimTime::from_nanos(at.as_nanos() + k * window.as_nanos() / 10);
+                windowed.record(off, latency).unwrap();
+            }
+            for snap in windowed.advance_to(at + window) {
+                let a = plain.observe_snapshot(t, &snap, false);
+                let b = tapped.observe_snapshot(t, &snap, false);
+                assert_eq!(a, b, "window {w}: history changed a command");
+            }
+        }
+        assert_eq!(plain.stats(), tapped.stats());
+        assert_eq!(plain.shares(), tapped.shares());
+
+        // The tap retained everything the controller saw...
+        let cumulative = tapped.history().unwrap().cumulative(&t).unwrap();
+        assert_eq!(cumulative.count(), 200 * 10);
+        // ...and the recent-vs-all-time drift reads strongly positive:
+        // the trailing seconds are the slow regime.
+        let drift = tapped
+            .drift_context(t, 0.5, SimDuration::from_secs(5))
+            .expect("history holds data");
+        assert!(drift > 500_000, "expected positive drift, got {drift}");
+        assert!(plain
+            .drift_context(t, 0.5, SimDuration::from_secs(5))
+            .is_none());
     }
 
     #[test]

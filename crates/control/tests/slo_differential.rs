@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use gqos_control::{
-    synth_window_sketch, SloController, SloConfig, SloRun, SloScenario, SloScenarioConfig,
+    synth_window_sketch, SloConfig, SloController, SloRun, SloScenario, SloScenarioConfig,
     SloTarget, WindowVerdict,
 };
 use gqos_core::{Provision, RecombinePolicy, TenantId};
@@ -241,10 +241,7 @@ fn shares_never_overcommit_and_epoch_shadows_never_run_ahead() {
                     .controller
                     .epoch_shadow(tenant)
                     .expect("every tenant is registered");
-                let epoch = run
-                    .plane
-                    .epoch_of(tenant)
-                    .expect("every tenant is placed");
+                let epoch = run.plane.epoch_of(tenant).expect("every tenant is placed");
                 if lossy {
                     assert!(
                         shadow <= epoch,
@@ -263,7 +260,8 @@ fn shares_never_overcommit_and_epoch_shadows_never_run_ahead() {
                     "seed {seed:#x}: expiries over a perfect channel"
                 );
                 assert_eq!(
-                    run.plane.stats().rejected, 0,
+                    run.plane.stats().rejected,
+                    0,
                     "seed {seed:#x}: rejections over a perfect channel"
                 );
             }
@@ -320,7 +318,12 @@ fn gateway_tap_snapshots_merge_losslessly_and_drive_the_controller() {
     let drive = || {
         let mut c = SloController::new(SloConfig::new(10_000), 7_000);
         let t = TenantId::new(0);
-        c.register(t, SloTarget::new(SimDuration::from_millis(5), 900_000), 100, 0);
+        c.register(
+            t,
+            SloTarget::new(SimDuration::from_millis(5), 900_000),
+            100,
+            0,
+        );
         let mut moves = Vec::new();
         for s in &snapshots {
             if let Some(req) = c.observe_snapshot(t, s, false) {

@@ -21,6 +21,12 @@
 //!   snapshot reproduces the unwindowed sketch bit for bit), with a typed
 //!   no-signal outcome for all-empty windows so feedback controllers never
 //!   mistake a quiet window's empty-sketch zero quantile for a latency.
+//! - **Long-horizon retention** ([`LongTermStore`], [`longterm`]): a
+//!   fixed-memory, per-tenant ring of window sketches with tiered
+//!   downsampling (e.g. 1 s → 1 min → 1 h) implemented purely by sketch
+//!   `merge`, so every coarse tier is provably lossless relative to its
+//!   source windows; queryable as percentile-over-time series and
+//!   tenant×time heat maps.
 //! - **Replay** ([`ReplayedRun`]): rebuilds per-request lifecycles from a
 //!   trace and independently re-derives miss fractions and percentiles, so
 //!   reported aggregates can be audited against the raw event stream.
@@ -32,13 +38,15 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod longterm;
 mod replay;
 mod sink;
 mod sketch;
 mod window;
 
 pub use event::{EventCounts, PolicyTag, TraceEvent};
+pub use longterm::{HeatmapRow, LongTermStore, RetentionConfig, SeriesPoint, TierConfig};
 pub use replay::{DrainRecord, ReplayedRun, RequestLifecycle};
 pub use sink::{FileSink, MemorySink, NullSink, TraceHandle, TraceSink};
-pub use sketch::{LatencySketch, RELATIVE_ERROR_BOUND};
-pub use window::{WindowSnapshot, WindowedSketch};
+pub use sketch::{nearest_rank, LatencySketch, RELATIVE_ERROR_BOUND};
+pub use window::{OutOfOrderInstant, WindowSnapshot, WindowedSketch};

@@ -34,6 +34,87 @@ const OCTAVES: usize = (64 - SUB_BITS) as usize;
 /// Total bucket count: the linear region plus `SUBS` buckets per octave.
 const BUCKETS: usize = SUBS as usize + OCTAVES * SUBS as usize;
 
+/// The nearest-rank index for quantile `q` over `n` values: `⌈q·n⌉`
+/// clamped to `[1, n]`, computed in pure integer (`u128`) arithmetic.
+///
+/// The old float formula `(q * n as f64).ceil() as u64` breaks down as
+/// `n` approaches 2⁵³: `n as f64` rounds the count itself, the product's
+/// ulp exceeds one whole rank, and `.ceil()` can no longer separate
+/// adjacent ranks — so the selected rank drifts off the true ceiling.
+/// Here the f64 `q` is decomposed exactly into its integer mantissa and
+/// exponent (`q = m·2⁻ˢ`) and the rank is the integer ceiling of
+///
+/// ```text
+/// (m·n − slack) / 2ˢ      with  slack = min(n/2, 2ˢ⁻²)
+/// ```
+///
+/// The slack term subtracts half an ulp of `q` scaled by `n` — a decimal
+/// like `0.9` sits half an ulp *above* `9/10`, and without the slack the
+/// exact ceiling would select rank `⌈9/10·n⌉ + 1` whenever `9n/10` is an
+/// integer, betraying the caller's intent. Capping the slack at a
+/// quarter rank (`2ˢ⁻²`) keeps every integer-exact case honest: a dyadic
+/// `q` (0.5, 0.25, …) yields the true `⌈q·n⌉` for **any** `n`, including
+/// the 2⁵³-boundary counts the float formula got wrong. For counts far
+/// below 2⁵³ the result is identical to the old formula wherever `q·n`
+/// is not within one ulp of an integer.
+///
+/// Returns 0 only when `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use gqos_obs::nearest_rank;
+///
+/// assert_eq!(nearest_rank(0.5, 7), 4);           // ⌈3.5⌉
+/// assert_eq!(nearest_rank(0.9, 10), 9);          // 0.9 means 9/10
+/// assert_eq!(nearest_rank(0.0, 5), 1);
+/// assert_eq!(nearest_rank(1.0, 5), 5);
+/// // The large-total boundary the float formula loses: the true median
+/// // rank of 2^53 + 1 values is 2^52 + 1, not 2^52.
+/// assert_eq!(nearest_rank(0.5, (1 << 53) + 1), (1 << 52) + 1);
+/// ```
+pub fn nearest_rank(q: f64, n: u64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if n == 0 {
+        return 0;
+    }
+    if q <= 0.0 {
+        return 1;
+    }
+    if q >= 1.0 {
+        return n;
+    }
+    // Exact dyadic decomposition q = m · 2^(-shift); every finite f64 is
+    // a dyadic rational. 0 < q < 1 guarantees shift >= 53.
+    let bits = q.to_bits();
+    let biased = (bits >> 52) & 0x7FF;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, shift) = if biased == 0 {
+        (frac, 1074u32) // subnormal
+    } else {
+        (frac | (1u64 << 52), 1075 - biased as u32)
+    };
+    let prod = u128::from(m) * u128::from(n); // < 2^53 · 2^64 = 2^117
+    let slack = if shift - 2 >= 127 {
+        u128::from(n / 2)
+    } else {
+        u128::from(n / 2).min(1u128 << (shift - 2))
+    };
+    let num = prod.saturating_sub(slack);
+    let rank = if shift >= 128 {
+        1 // q < 2^-75, so q·n < 1 for any u64 count
+    } else {
+        let floor = num >> shift;
+        // q < 1 bounds floor below n, so the ceiling fits in u64.
+        (floor as u64) + u64::from(num & ((1u128 << shift) - 1) != 0)
+    };
+    rank.clamp(1, n)
+}
+
 /// A mergeable log-bucketed latency histogram with bounded relative error.
 ///
 /// # Examples
@@ -119,6 +200,21 @@ impl LatencySketch {
         self.sum += value as u128;
     }
 
+    /// Records `n` copies of `value` in O(1) — bit-identical to calling
+    /// [`record`](LatencySketch::record) `n` times. This is what makes
+    /// count boundaries near 2^53 reachable in tests at all.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += n;
+        self.total += n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.total
@@ -174,8 +270,10 @@ impl LatencySketch {
         }
         // Nearest-rank: the smallest value with at least ceil(q * n) values
         // at or below it (rank clamped to [1, n]) — the same convention as
-        // the exact sorted-vector oracle in gqos-sim::metrics.
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // the exact sorted-vector oracle in gqos-sim::metrics. Computed in
+        // pure integer arithmetic ([`nearest_rank`]): the float product
+        // `q * n` cannot separate adjacent ranks once `n` nears 2^53.
+        let rank = nearest_rank(q, self.total);
         if rank == 1 {
             // The rank-1 statistic is the minimum, which is tracked exactly;
             // reporting its bucket's upper bound would overestimate it.
@@ -248,12 +346,14 @@ impl LatencySketch {
 mod tests {
     use super::*;
 
-    /// Exact nearest-rank quantile over a sorted copy — the oracle.
+    /// Exact nearest-rank quantile over a sorted copy — the oracle. Uses
+    /// the same integer [`nearest_rank`] as the sketch: the float formula
+    /// it replaced shared the sketch's precision flaw near 2^53, so an
+    /// oracle built on it could never have caught the bug.
     fn exact_quantile(values: &[u64], q: f64) -> u64 {
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
-        let n = sorted.len() as u64;
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let rank = nearest_rank(q, sorted.len() as u64);
         sorted[(rank - 1) as usize]
     }
 
@@ -421,6 +521,71 @@ mod tests {
             assert_eq!(s.quantile(q), 0);
         }
         assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn nearest_rank_matches_float_formula_where_it_was_sane() {
+        // For modest counts the integer rank must agree with the float
+        // formula it replaced — the fix may not shift the repo-wide
+        // quantile convention at ordinary scales.
+        let counts = [1u64, 2, 3, 7, 10, 20, 99, 100, 1_000, 9_999, 65_536];
+        let quantiles = [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+        for &n in &counts {
+            for &q in &quantiles {
+                let float_rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+                assert_eq!(
+                    nearest_rank(q, n),
+                    float_rank,
+                    "rank diverged from the float formula at q={q}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_at_large_total_boundaries() {
+        // Regression for the f64 rank formula: `(q * n as f64)` first
+        // rounds n (2^53 + 1 is not representable), then produces a product
+        // whose ulp exceeds one whole rank, so `.ceil()` lands on the wrong
+        // order statistic. The true median rank of 2^53 + 1 values is
+        // 2^52 + 1; the float formula said 2^52.
+        let n = (1u64 << 53) + 1;
+        let float_rank = ((0.5 * n as f64).ceil() as u64).clamp(1, n);
+        assert_eq!(float_rank, 1 << 52, "float formula silently changed");
+        assert_eq!(nearest_rank(0.5, n), (1 << 52) + 1);
+        // Dyadic quantiles stay exact across the whole u64 range.
+        assert_eq!(nearest_rank(0.5, u64::MAX), u64::MAX / 2 + 1);
+        assert_eq!(nearest_rank(0.25, (1 << 54) + 4), (1 << 52) + 1);
+        // Non-dyadic decimals keep their decimal meaning at large n too:
+        // 0.9 of 10^16 values is rank 9·10^15 even though 0.9f64 > 9/10.
+        assert_eq!(nearest_rank(0.9, 10_u64.pow(16)), 9 * 10_u64.pow(15));
+    }
+
+    #[test]
+    fn quantile_selects_true_rank_at_large_totals() {
+        // End-to-end regression on the sketch itself: 2^52 values of 100
+        // and 2^52 + 1 values of 1000. The median (rank 2^52 + 1 of
+        // 2^53 + 1) is 1000; the pre-fix rank undershot by one and
+        // reported 100's bucket instead.
+        let mut s = LatencySketch::new();
+        s.record_n(100, 1 << 52);
+        s.record_n(1_000, (1 << 52) + 1);
+        assert_eq!(s.count(), (1 << 53) + 1);
+        let p50 = s.quantile(0.5);
+        assert!(p50 >= 1_000, "median fell in the low bucket: {p50}");
+    }
+
+    #[test]
+    fn record_n_is_bit_identical_to_repeated_record() {
+        let mut bulk = LatencySketch::new();
+        let mut loop_ = LatencySketch::new();
+        for (value, n) in [(7u64, 3u64), (100, 0), (4_096, 17), (u64::MAX, 2)] {
+            bulk.record_n(value, n);
+            for _ in 0..n {
+                loop_.record(value);
+            }
+        }
+        assert_eq!(bulk, loop_);
     }
 
     #[test]

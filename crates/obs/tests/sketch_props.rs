@@ -3,12 +3,14 @@
 //!
 //! The oracle uses the same nearest-rank convention as
 //! `gqos-sim::ResponseStats::percentile`: `rank = ceil(q·n)` clamped to
-//! `[1, n]`, answer = `sorted[rank-1]`. The sketch must never under-report
-//! the oracle, and may over-report by at most the documented one-sided
-//! relative bound — asserted in exact integer arithmetic:
-//! `(sketch − exact)·32 ≤ exact`.
+//! `[1, n]`, answer = `sorted[rank-1]` — computed with the shared integer
+//! [`nearest_rank`], since an oracle built on the float formula would
+//! share the precision flaw the sketch was cured of. The sketch must
+//! never under-report the oracle, and may over-report by at most the
+//! documented one-sided relative bound — asserted in exact integer
+//! arithmetic: `(sketch − exact)·32 ≤ exact`.
 
-use gqos_obs::{LatencySketch, RELATIVE_ERROR_BOUND};
+use gqos_obs::{nearest_rank, LatencySketch, RELATIVE_ERROR_BOUND};
 use proptest::prelude::*;
 
 /// The quantiles the run report renders: p50/p90/p99/p999.
@@ -16,9 +18,8 @@ const QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
 
 /// Exact nearest-rank quantile over a sorted sample.
 fn oracle(sorted: &[u64], q: f64) -> u64 {
-    let n = sorted.len();
-    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-    sorted[rank - 1]
+    let rank = nearest_rank(q, sorted.len() as u64);
+    sorted[(rank - 1) as usize]
 }
 
 fn sketch_of(values: &[u64]) -> LatencySketch {

@@ -55,7 +55,8 @@ proptest! {
         let mut closed = Vec::new();
         for &(at, value) in &stream {
             unwindowed.record(value);
-            closed.extend(windowed.record(SimTime::from_nanos(at), value));
+            // The stream is time-ordered, so recording never rejects.
+            closed.extend(windowed.record(SimTime::from_nanos(at), value).unwrap());
         }
         let cumulative = windowed.cumulative().clone();
         closed.push(windowed.finish());
@@ -80,7 +81,7 @@ proptest! {
         let mut windowed = WindowedSketch::new(SimDuration::from_nanos(window_ns));
         let mut closed = Vec::new();
         for &(at, value) in &stream {
-            closed.extend(windowed.record(SimTime::from_nanos(at), value));
+            closed.extend(windowed.record(SimTime::from_nanos(at), value).unwrap());
         }
         closed.push(windowed.finish());
         for snap in &closed {
@@ -92,6 +93,35 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// An instant from an already-closed window is a typed error that
+    /// changes nothing; an instant exactly on the current window's start
+    /// boundary is in order. (Regression: the pre-fix code silently
+    /// folded stale instants into the current window, misfiling them.)
+    #[test]
+    fn out_of_order_instants_reject_without_state_change(
+        window_ns in 1u64..2_000_000_000,
+        advance_windows in 1u64..50,
+        offset_ns in 0u64..2_000_000_000,
+    ) {
+        let window = SimDuration::from_nanos(window_ns);
+        let mut w = WindowedSketch::new(window);
+        // Move into window `advance_windows` so earlier windows exist.
+        let start_ns = advance_windows * window_ns;
+        w.record(SimTime::from_nanos(start_ns), 42).unwrap();
+        let before = w.clone();
+
+        // Exactly on the current boundary: in order, always accepted.
+        prop_assert!(w.record(SimTime::from_nanos(start_ns), 43).is_ok());
+
+        // Strictly before the boundary: typed rejection, no mutation.
+        let mut w = before.clone();
+        let stale_ns = start_ns - 1 - (offset_ns % start_ns.max(1)).min(start_ns - 1);
+        let err = w.record(SimTime::from_nanos(stale_ns), 44).unwrap_err();
+        prop_assert_eq!(err.at, SimTime::from_nanos(stale_ns));
+        prop_assert_eq!(err.window_start, SimTime::from_nanos(start_ns));
+        prop_assert_eq!(&w, &before, "a rejected record must not change state");
     }
 
     /// `count_at_most` is consistent with `fraction_below` and exact on
@@ -124,7 +154,7 @@ proptest! {
 fn all_empty_window_regression() {
     let window = SimDuration::from_millis(100);
     let mut w = WindowedSketch::new(window);
-    w.record(SimTime::from_millis(20), 7_000_000);
+    w.record(SimTime::from_millis(20), 7_000_000).unwrap();
     // One second of silence closes nine empty windows after the first.
     let closed = w.advance_to(SimTime::from_secs(1));
     assert_eq!(closed.len(), 10);

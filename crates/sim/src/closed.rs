@@ -47,6 +47,12 @@ impl ClosedLoopConfig {
 /// Runs a closed loop: `factory(client, issue_time)` materialises each
 /// request (its `id` and `arrival` are overwritten by the driver).
 ///
+/// Horizon accounting: clients issue strictly before `config.duration`
+/// (an arrival at exactly the horizon retires), outstanding requests
+/// run to completion, and the report's `end_time` is the instant of the
+/// last completion — so `completed / end_time` is a true throughput
+/// over the span work actually occupied.
+///
 /// # Panics
 ///
 /// Panics if the scheduler requests a retry at a non-future instant
@@ -102,8 +108,14 @@ where
         });
     }
 
+    // Horizon convention (pinned by `horizon_accounting_*` tests): clients
+    // issue strictly before `horizon` — an arrival at exactly `horizon`
+    // retires — and `end_time` is the instant of the **last completion**.
+    // Retiring arrivals (scheduled think-time after the final completion)
+    // and stale retries are bookkeeping events, not work: letting them
+    // stretch `end_time` would divide horizon-bounded completions by a
+    // span no request ever occupied, deflating every derived throughput.
     while let Some(Event { at: now, kind }) = queue.pop() {
-        end_time = end_time.max(now);
         match kind {
             EventKind::Arrival { index: client } => {
                 if now >= horizon {
@@ -129,6 +141,7 @@ where
                 }
             }
             EventKind::Completion { server } => {
+                end_time = end_time.max(now);
                 let (request, class, dispatched) = in_flight[server]
                     .take()
                     .expect("completion event for idle server");
@@ -286,6 +299,43 @@ mod tests {
         }
         // The last outstanding request may finish after the horizon.
         assert!(report.end_time() >= SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn horizon_accounting_end_time_is_the_last_completion() {
+        // Regression: `end_time` used to advance on *every* event,
+        // including the retiring think-time arrival scheduled after the
+        // final completion. One client, 10 ms service, 10 s think, 50 ms
+        // horizon: the only request completes at 10 ms, the client's next
+        // arrival at 10.01 s retires. The measured span is 10 ms — the
+        // pre-fix code reported ~10.01 s, deflating throughput 1000x.
+        let report = closed_loop(
+            ClosedLoopConfig::new(1, SimDuration::from_secs(10), dms(50)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+            |_, t| Request::at(t),
+        );
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.end_time(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn horizon_accounting_arrival_exactly_at_horizon_retires() {
+        // The issue side of the pinned convention: issues happen strictly
+        // before `horizon`. Service 10 ms + think 40 ms puts the third
+        // arrival at exactly t=100 ms — it retires, and the span ends at
+        // the second completion (t=60 ms).
+        let report = closed_loop(
+            ClosedLoopConfig::new(1, dms(40), dms(100)),
+            FcfsScheduler::new(),
+            FixedRateServer::new(Iops::new(100.0)),
+            |_, t| Request::at(t),
+        );
+        assert_eq!(report.completed(), 2);
+        for r in report.records() {
+            assert!(r.arrival < SimTime::from_millis(100));
+        }
+        assert_eq!(report.end_time(), SimTime::from_millis(60));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use streaming::StreamingSimulation;
 // Re-export the observability vocabulary so downstream crates can attach
 // traces and read sketches without naming gqos-obs directly.
 pub use gqos_obs::{
-    EventCounts, FileSink, LatencySketch, MemorySink, NullSink, PolicyTag, ReplayedRun, TraceEvent,
-    TraceHandle, TraceSink, WindowSnapshot, WindowedSketch,
+    nearest_rank, EventCounts, FileSink, HeatmapRow, LatencySketch, LongTermStore, MemorySink,
+    NullSink, OutOfOrderInstant, PolicyTag, ReplayedRun, RetentionConfig, SeriesPoint, TierConfig,
+    TraceEvent, TraceHandle, TraceSink, WindowSnapshot, WindowedSketch,
 };

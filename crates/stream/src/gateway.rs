@@ -27,7 +27,7 @@ use std::fmt;
 use gqos_core::RecombinePolicy;
 use gqos_parallel::WorkerPool;
 use gqos_sim::{
-    CompletionRecord, Dispatch, LatencySketch, Scheduler, ServerId, ServiceClass,
+    CompletionRecord, Dispatch, LatencySketch, LongTermStore, Scheduler, ServerId, ServiceClass,
     StreamingSimulation, TraceEvent, TraceHandle, WindowSnapshot, WindowedSketch,
 };
 use gqos_trace::{Request, SimDuration, SimTime, Workload};
@@ -245,10 +245,33 @@ impl TenantReport {
         let mut out = Vec::new();
         for r in &self.records {
             let latency = r.response_time().as_nanos();
-            out.extend(windowed.record(r.completion, latency));
+            // Records are in completion order, so instants are monotone
+            // and recording can never reject as out-of-order.
+            out.extend(
+                windowed
+                    .record(r.completion, latency)
+                    .expect("completion-ordered records cannot be out of order"),
+            );
         }
         out.push(windowed.finish());
         out
+    }
+
+    /// Feeds this lane's window feedback into a long-horizon store under
+    /// the tenant's name: every closed `window`-wide snapshot is merged
+    /// into the store's retention ladder, keyed by its start instant.
+    /// Keep `window` no wider than (and dividing) the store's tier-0
+    /// width for exact time attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn feed_longterm(&self, window: SimDuration, store: &mut LongTermStore<String>) {
+        for snapshot in self.window_feedback(window) {
+            store
+                .ingest_snapshot(&self.name, &snapshot)
+                .expect("window feedback snapshots are time-ordered");
+        }
     }
 }
 
@@ -507,6 +530,24 @@ mod tests {
         }
         assert_eq!(reference.len(), 4);
         assert!(reference.iter().all(|r| r.completed == r.offered));
+    }
+
+    #[test]
+    fn longterm_feed_is_lossless_against_the_lane_sketch() {
+        use gqos_sim::{LongTermStore, RetentionConfig};
+        let report = run_lane(TenantSpec {
+            name: "t".into(),
+            workload: bursty(0),
+            shaper: shaper(),
+            policy: RecombinePolicy::FairQueue,
+            inbox_bound: 8,
+            chunk: 16,
+        });
+        let mut store: LongTermStore<String> = LongTermStore::new(RetentionConfig::default_tiers());
+        report.feed_longterm(SimDuration::from_millis(100), &mut store);
+        // The retention ladder's cumulative sketch reproduces the lane's
+        // whole-run sketch bit for bit — retention loses nothing.
+        assert_eq!(store.cumulative(&report.name).unwrap(), &report.sketch);
     }
 
     #[test]

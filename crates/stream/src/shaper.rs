@@ -22,8 +22,8 @@ use std::mem;
 
 use gqos_core::{FairQueueScheduler, MiserScheduler, Provision, RecombinePolicy, SplitScheduler};
 use gqos_sim::{
-    CompletionRecord, FcfsScheduler, FixedRateServer, LatencySketch, RunReport, Scheduler,
-    ServiceClass, StreamingSimulation, TraceHandle,
+    CompletionRecord, FcfsScheduler, FixedRateServer, LatencySketch, LongTermStore, RunReport,
+    Scheduler, ServiceClass, StreamingSimulation, TraceHandle,
 };
 use gqos_trace::{Request, SimDuration, SimTime};
 
@@ -269,6 +269,37 @@ impl OnlineShaper {
         Ok(obs)
     }
 
+    /// Like [`run_observed`](OnlineShaper::run_observed), additionally
+    /// feeding every completion into a long-horizon [`LongTermStore`]
+    /// under `tenant`, keyed by completion instant. This is the shaper's
+    /// side of the retention tap: the same store the gateway feeds from
+    /// `TenantReport::window_feedback` can absorb ad-hoc shaper runs, and
+    /// because the store's tiers are built purely by sketch `merge`, its
+    /// cumulative sketch for `tenant` afterwards contains these
+    /// completions losslessly (bit-identical merge with whatever it
+    /// already held).
+    ///
+    /// Completions drain in simulation-time order, so the store's
+    /// out-of-order rejection can never fire here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamError`] from the source.
+    pub fn run_longterm<A: ArrivalStream + ?Sized>(
+        &self,
+        stream: &mut A,
+        policy: RecombinePolicy,
+        tenant: &str,
+        store: &mut LongTermStore<String>,
+    ) -> Result<StreamObservation, StreamError> {
+        let key = tenant.to_string();
+        self.run_observed(stream, policy, |record| {
+            store
+                .record(&key, record.completion, record.response_time().as_nanos())
+                .expect("completion-ordered drains cannot be out of order");
+        })
+    }
+
     fn drive<A: ArrivalStream + ?Sized>(
         &self,
         stream: &mut A,
@@ -418,6 +449,32 @@ mod tests {
             .unwrap();
         assert_eq!(a.peak_chunk_bytes, b.peak_chunk_bytes);
         assert_eq!(a.peak_chunk_bytes, chunk * std::mem::size_of::<Request>());
+    }
+
+    #[test]
+    fn longterm_run_feeds_the_store_losslessly() {
+        // The store's cumulative sketch after a shaper run must equal the
+        // observation's aggregate sketch bit for bit: the retention tap
+        // loses nothing relative to the run itself.
+        use gqos_sim::RetentionConfig;
+        let w = bursty();
+        let (_, online) = shapers();
+        for policy in RecombinePolicy::ALL {
+            let mut store = LongTermStore::new(RetentionConfig::default_tiers());
+            let obs = online
+                .run_longterm(
+                    &mut WorkloadStream::new(w.clone(), 11),
+                    policy,
+                    "tenant-a",
+                    &mut store,
+                )
+                .expect("workload stream");
+            assert_eq!(
+                store.cumulative(&"tenant-a".to_string()),
+                Some(&obs.sketch),
+                "{policy}: store cumulative diverged from the run sketch"
+            );
+        }
     }
 
     #[test]
